@@ -1,0 +1,153 @@
+// Command integrade-grm runs a Cluster Manager node over TCP: the GRM (with
+// its embedded Trader), the GUPA, a Naming service and a hierarchy node —
+// the paper's "one or more nodes that are responsible for managing that
+// cluster".
+//
+// Usage:
+//
+//	integrade-grm -listen :7000 -cluster ime -policy usage-aware
+//
+// Resource-provider agents (integrade-lrm) then point at this address, and
+// integrade-asct submits applications to it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"integrade/internal/grm"
+	"integrade/internal/gupa"
+	"integrade/internal/hierarchy"
+	"integrade/internal/naming"
+	"integrade/internal/orb"
+	"integrade/internal/protocol"
+	"integrade/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "integrade-grm:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		listen    = flag.String("listen", ":7000", "TCP address to listen on")
+		cluster   = flag.String("cluster", "cluster-0", "cluster identifier")
+		policy    = flag.String("policy", "usage-aware", "scheduling policy: usage-aware|best-fit|random|round-robin")
+		offerTTL  = flag.Duration("offer-ttl", grm.DefaultOfferTTL, "node offer expiry")
+		schedule  = flag.Duration("schedule-period", grm.DefaultSchedulePeriod, "pending-task scheduling period")
+		parentRef = flag.String("parent", "", "parent hierarchy node reference (tcp://host:port/hierarchy)")
+		verbose   = flag.Bool("v", false, "verbose logging")
+	)
+	flag.Parse()
+
+	logLevel := slog.LevelWarn
+	if *verbose {
+		logLevel = slog.LevelDebug
+	}
+	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: logLevel}))
+
+	pol, err := policyByName(*policy)
+	if err != nil {
+		return err
+	}
+
+	clock := sim.RealClock{}
+	o := orb.New(orb.WithLogger(log))
+	defer o.Close()
+
+	g := grm.New(*cluster, clock, o,
+		grm.WithPolicy(pol),
+		grm.WithOfferTTL(*offerTTL),
+		grm.WithSchedulePeriod(*schedule),
+		grm.WithLogger(log),
+		grm.WithRNG(sim.NewRNG(time.Now().UnixNano())),
+	)
+	gupaSvc := gupa.NewService()
+	namingSvc := naming.NewService()
+	hnode := hierarchy.NewNode(g, o)
+
+	adapter := orb.NewAdapter()
+	if err := adapter.Register(protocol.GRMKey, g.Servant()); err != nil {
+		return err
+	}
+	if err := adapter.Register(gupa.ObjectKey, gupa.Servant(gupaSvc)); err != nil {
+		return err
+	}
+	if err := adapter.Register(naming.ObjectKey, naming.Servant(namingSvc)); err != nil {
+		return err
+	}
+	if err := adapter.Register(hierarchy.ObjectKey, hnode.Servant()); err != nil {
+		return err
+	}
+
+	srv, err := o.ListenTCP(*listen, adapter)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	hnode.SetSelfRef(srv.Ref(hierarchy.ObjectKey))
+	if *parentRef != "" {
+		ref, err := orb.ParseRef(*parentRef)
+		if err != nil {
+			return fmt.Errorf("parent: %w", err)
+		}
+		hnode.SetParent(ref)
+	}
+
+	// Self-register the manager services in the naming directory.
+	for _, key := range []string{protocol.GRMKey, gupa.ObjectKey, hierarchy.ObjectKey} {
+		if err := namingSvc.Bind("services/"+key, srv.Ref(key)); err != nil {
+			return err
+		}
+	}
+
+	g.Start()
+	defer g.Stop()
+
+	fmt.Printf("cluster manager %q up\n", *cluster)
+	fmt.Printf("  GRM:       %s\n", srv.Ref(protocol.GRMKey))
+	fmt.Printf("  GUPA:      %s\n", srv.Ref(gupa.ObjectKey))
+	fmt.Printf("  Naming:    %s\n", srv.Ref(naming.ObjectKey))
+	fmt.Printf("  Hierarchy: %s\n", srv.Ref(hierarchy.ObjectKey))
+	fmt.Printf("  policy:    %s\n", g.PolicyName())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	ticker := time.NewTicker(30 * time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			fmt.Println("\nshutting down")
+			return nil
+		case <-ticker.C:
+			st := g.Stats()
+			fmt.Printf("[%s] nodes=%d updates=%d submissions=%d placed=%d pending-evictions=%d\n",
+				time.Now().Format("15:04:05"), g.KnownNodes(), st.UpdatesReceived,
+				st.Submissions, st.TasksPlaced, st.TasksEvicted)
+		}
+	}
+}
+
+func policyByName(name string) (grm.Policy, error) {
+	switch name {
+	case "usage-aware":
+		return grm.UsageAware{}, nil
+	case "best-fit":
+		return grm.BestFit{}, nil
+	case "random":
+		return grm.Random{}, nil
+	case "round-robin":
+		return &grm.RoundRobin{}, nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q", name)
+	}
+}

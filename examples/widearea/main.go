@@ -1,0 +1,99 @@
+// Widearea: a multi-university InteGrade grid. Five clusters form a
+// hierarchy (one root, two campuses, two department leaves); submissions
+// enter at the root and are routed to the cluster that can host them, per
+// the paper's "clusters are then arranged in a hierarchy" design.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"integrade/internal/asct"
+	"integrade/internal/core"
+	"integrade/internal/resource"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	grid := core.NewGrid(core.WithSeed(7))
+	defer grid.Stop()
+
+	// Topology: usp is the root; two campuses hang below it; each campus
+	// has a department cluster below with the big machines.
+	clusters := []struct {
+		id     string
+		parent string
+		nodes  int
+		mips   float64
+	}{
+		{"usp", "", 4, 600},
+		{"campus-east", "usp", 6, 800},
+		{"campus-west", "usp", 6, 800},
+		{"dept-physics", "campus-east", 8, 2000},
+		{"dept-genetics", "campus-west", 8, 2400},
+	}
+	for _, c := range clusters {
+		cl, err := grid.AddCluster(c.id)
+		if err != nil {
+			return err
+		}
+		if _, err := cl.AddNodes(core.DedicatedNodes(c.nodes, c.mips)); err != nil {
+			return err
+		}
+		if c.parent != "" {
+			if err := grid.LinkChild(c.parent, c.id); err != nil {
+				return err
+			}
+		}
+	}
+	root, _ := grid.Cluster("usp")
+	sum := root.Hierarchy().Summary()
+	fmt.Printf("grid assembled: %d clusters, %d nodes, %.0f total MIPS\n\n",
+		sum.Clusters, sum.Nodes, sum.TotalMIPS)
+
+	jobs := []struct {
+		name  string
+		procs int
+		mips  float64
+	}{
+		{"small-sweep", 1, 500},   // fits the root
+		{"midsize-bsp", 4, 700},   // needs a campus
+		{"hpc-genomics", 6, 2200}, // only dept-genetics qualifies
+		{"hpc-lattice", 8, 1800},  // physics or genetics
+	}
+	fmt.Printf("%-14s %6s %10s  %-14s %s\n", "application", "procs", "MIPS/proc", "landed on", "hops")
+	for _, j := range jobs {
+		b := asct.NewApplication(j.name).
+			BSP(j.procs, 60_000).
+			Allocate(resource.Vector{MIPS: j.mips, RAMMB: 64})
+		if j.procs == 1 {
+			b = asct.NewApplication(j.name).
+				Sequential(60_000).
+				Allocate(resource.Vector{MIPS: j.mips, RAMMB: 64})
+		}
+		h, err := grid.Submit(b)
+		if err != nil {
+			return fmt.Errorf("%s: %w", j.name, err)
+		}
+		fmt.Printf("%-14s %6d %10.0f  %-14s %d\n", j.name, j.procs, j.mips, h.ClusterID(), h.Hops())
+	}
+
+	// Run everything to completion.
+	if err := grid.Advance(30 * time.Minute); err != nil {
+		return err
+	}
+	fmt.Println("\nper-cluster scheduler activity:")
+	for _, id := range grid.Clusters() {
+		c, _ := grid.Cluster(id)
+		st := c.GRM().Stats()
+		fmt.Printf("  %-14s submissions=%d placed=%d negotiations=%d\n",
+			id, st.Submissions, st.TasksPlaced, st.NegotiationRounds)
+	}
+	return nil
+}

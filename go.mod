@@ -1,0 +1,3 @@
+module integrade
+
+go 1.24

@@ -1,0 +1,172 @@
+// Package baseline implements the comparison schedulers the paper discusses
+// qualitatively, so the comparisons in Section 2 become quantitative:
+//
+//   - CondorLike: a central matchmaker in the style of Condor [LLM88].
+//     Machines are matched to queued jobs when fully idle; an owner's
+//     return evicts grid work; sequential jobs may checkpoint (Condor
+//     supported this via re-linking), but parallel jobs require dedicated
+//     machines ("some computers in the system should be configured as
+//     partially-reserved nodes") and lose all work on any failure.
+//
+//   - BOINCLike: a pull-based work-unit server in the style of
+//     SETI@home/BOINC. Idle clients fetch independent work units; there is
+//     no inter-node communication, so parallel (BSP) applications are
+//     rejected; an interrupted work unit resumes later on the *same*
+//     machine from a local checkpoint (no migration); partially idle
+//     machines contribute nothing.
+//
+// Both operate directly on the node substrate with an explicit Tick driven
+// by the experiment loop, so they are comparable with the full InteGrade
+// stack on identical clusters.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"integrade/internal/node"
+	"integrade/internal/resource"
+)
+
+// JobKind classifies baseline workload entries.
+type JobKind int
+
+// Job kinds.
+const (
+	// JobSequential is a single task.
+	JobSequential JobKind = iota + 1
+	// JobBag is a bag of independent tasks.
+	JobBag
+	// JobBSP is a communicating parallel job requiring gang placement.
+	JobBSP
+)
+
+// String implements fmt.Stringer.
+func (k JobKind) String() string {
+	switch k {
+	case JobSequential:
+		return "sequential"
+	case JobBag:
+		return "bag"
+	case JobBSP:
+		return "bsp"
+	default:
+		return fmt.Sprintf("JobKind(%d)", int(k))
+	}
+}
+
+// Job is one unit of submitted work.
+type Job struct {
+	ID          string
+	Kind        JobKind
+	Tasks       int
+	WorkPerTask float64 // MI
+	Alloc       resource.Vector
+}
+
+// Validate reports malformed jobs.
+func (j Job) Validate() error {
+	if j.ID == "" {
+		return errors.New("baseline: job without ID")
+	}
+	if j.Tasks < 1 {
+		return fmt.Errorf("baseline: job %s with %d tasks", j.ID, j.Tasks)
+	}
+	if j.Kind == JobSequential && j.Tasks != 1 {
+		return fmt.Errorf("baseline: sequential job %s with %d tasks", j.ID, j.Tasks)
+	}
+	if j.WorkPerTask <= 0 {
+		return fmt.Errorf("baseline: job %s with non-positive work", j.ID)
+	}
+	return nil
+}
+
+// Stats are the common scheduler counters.
+type Stats struct {
+	TasksCompleted int
+	TasksEvicted   int
+	BSPCompleted   int
+	BSPRejected    int
+	WorkLostMI     float64
+}
+
+// task is one schedulable unit inside a job.
+type task struct {
+	id       string
+	job      *jobState
+	work     float64
+	progress float64 // preserved progress (checkpointing semantics differ)
+	// boundNode pins a task to one machine (BOINC resume semantics).
+	boundNode string
+	running   bool
+	nodeID    string
+	done      bool
+}
+
+type jobState struct {
+	job       Job
+	tasks     []*task
+	completed int
+}
+
+func (js *jobState) done() bool { return js.completed == len(js.tasks) }
+
+// newJobState expands a job into tasks.
+func newJobState(j Job) *jobState {
+	js := &jobState{job: j}
+	for i := 0; i < j.Tasks; i++ {
+		js.tasks = append(js.tasks, &task{
+			id:   fmt.Sprintf("%s/t%d", j.ID, i),
+			job:  js,
+			work: j.WorkPerTask,
+		})
+	}
+	return js
+}
+
+// startTask commits the allocation and starts the task on n.
+func startTask(n *node.Node, tk *task, now time.Time) error {
+	res, err := n.Ledger().Reserve(tk.job.job.Alloc, tk.job.job.ID, now, now.Add(time.Minute))
+	if err != nil {
+		return err
+	}
+	if err := n.Ledger().Commit(res.ID, now); err != nil {
+		return err
+	}
+	nt := node.Task{ID: tk.id, Work: tk.work, Alloc: tk.job.job.Alloc}
+	nt.SetProgress(tk.progress)
+	if err := n.StartTask(now, nt); err != nil {
+		n.Ledger().Release(tk.job.job.Alloc)
+		return err
+	}
+	tk.running = true
+	tk.nodeID = n.ID()
+	return nil
+}
+
+// fullyIdle reports the Condor/BOINC notion of an exploitable machine: up,
+// owner absent, and no grid task already running.
+func fullyIdle(n *node.Node, now time.Time) bool {
+	if n.IsDown(now) {
+		return false
+	}
+	if !n.Dedicated() && n.OwnerActivity(now).Busy() {
+		return false
+	}
+	return len(n.RunningTasks()) == 0
+}
+
+// sortNodes orders nodes by descending CPU then ID for determinism.
+func sortNodes(nodes []*node.Node) []*node.Node {
+	out := append([]*node.Node(nil), nodes...)
+	sort.Slice(out, func(i, j int) bool {
+		ci, cj := out[i].Spec().Capacity.MIPS, out[j].Spec().Capacity.MIPS
+		if ci != cj {
+			return ci > cj
+		}
+		return out[i].ID() < out[j].ID()
+	})
+	return out
+}

@@ -1,0 +1,322 @@
+package baseline
+
+import (
+	"testing"
+	"time"
+
+	"integrade/internal/ncc"
+	"integrade/internal/node"
+	"integrade/internal/resource"
+	"integrade/internal/usage"
+)
+
+var (
+	linux  = resource.Platform{Arch: "amd64", OS: "linux"}
+	monday = time.Date(2026, 1, 5, 0, 0, 0, 0, time.UTC)
+)
+
+func mkNode(t *testing.T, id string, mips float64, dedicated bool, profile *usage.Profile) *node.Node {
+	t.Helper()
+	spec := resource.MachineSpec{
+		Platform:  linux,
+		Capacity:  resource.Vector{MIPS: mips, RAMMB: 1024, DiskMB: 1000, NetMbps: 100},
+		LANID:     "lan0",
+		Dedicated: dedicated,
+	}
+	var tr *usage.Trace
+	if profile != nil {
+		tr = usage.NewTrace(*profile, int64(len(id)*31))
+	}
+	pol := ncc.Policy{Mode: ncc.ModeIdleOnly, CPUFraction: 1, RAMFraction: 0.9, IdleAfter: 5 * time.Minute}
+	if dedicated {
+		pol = ncc.Generous()
+	}
+	n, err := node.New(id, spec, tr, pol, monday)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// drive ticks a scheduler every 5 minutes for the given span.
+func drive(s interface{ Tick(time.Time) }, from time.Time, span time.Duration) time.Time {
+	now := from
+	for elapsed := time.Duration(0); elapsed < span; elapsed += 5 * time.Minute {
+		now = from.Add(elapsed)
+		s.Tick(now)
+	}
+	return now
+}
+
+func TestJobValidate(t *testing.T) {
+	good := Job{ID: "j", Kind: JobSequential, Tasks: 1, WorkPerTask: 10}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Job{
+		{Kind: JobSequential, Tasks: 1, WorkPerTask: 1},
+		{ID: "j", Kind: JobSequential, Tasks: 2, WorkPerTask: 1},
+		{ID: "j", Kind: JobBag, Tasks: 0, WorkPerTask: 1},
+		{ID: "j", Kind: JobBag, Tasks: 2, WorkPerTask: 0},
+	}
+	for _, j := range bad {
+		if err := j.Validate(); err == nil {
+			t.Fatalf("invalid job accepted: %+v", j)
+		}
+	}
+	for _, k := range []JobKind{JobSequential, JobBag, JobBSP, JobKind(9)} {
+		if k.String() == "" {
+			t.Fatal("empty JobKind string")
+		}
+	}
+}
+
+func TestCondorRunsSequentialJob(t *testing.T) {
+	nodes := []*node.Node{
+		mkNode(t, "d0", 1000, true, nil),
+		mkNode(t, "d1", 1000, true, nil),
+	}
+	c := NewCondorLike(nodes)
+	if err := c.Submit(Job{
+		ID: "j1", Kind: JobSequential, Tasks: 1,
+		WorkPerTask: 600_000, // 10 min at 1000 MIPS
+		Alloc:       resource.Vector{MIPS: 1000, RAMMB: 64},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	drive(c, monday, time.Hour)
+	if c.Stats().TasksCompleted != 1 {
+		t.Fatalf("completed = %d", c.Stats().TasksCompleted)
+	}
+	if c.Pending() != 0 {
+		t.Fatalf("pending = %d", c.Pending())
+	}
+}
+
+func TestCondorWholeMachineClaim(t *testing.T) {
+	// One machine, two tasks: they must run serially (Condor claims the
+	// whole machine), even though resources would allow both.
+	nodes := []*node.Node{mkNode(t, "d0", 1000, true, nil)}
+	c := NewCondorLike(nodes)
+	if err := c.Submit(Job{
+		ID: "bag", Kind: JobBag, Tasks: 2,
+		WorkPerTask: 150_000, // 5 min at 500
+		Alloc:       resource.Vector{MIPS: 500, RAMMB: 64},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c.Tick(monday)
+	if got := len(nodes[0].RunningTasks()); got != 1 {
+		t.Fatalf("running tasks = %d, want 1 (whole-machine claim)", got)
+	}
+	drive(c, monday, 2*time.Hour)
+	if c.Stats().TasksCompleted != 2 {
+		t.Fatalf("completed = %d", c.Stats().TasksCompleted)
+	}
+}
+
+func TestCondorBSPRequiresDedicated(t *testing.T) {
+	idleProfile := usage.MostlyIdle
+	nodes := []*node.Node{
+		mkNode(t, "w0", 1000, false, &idleProfile),
+		mkNode(t, "w1", 1000, false, &idleProfile),
+		mkNode(t, "d0", 1000, true, nil),
+	}
+	c := NewCondorLike(nodes)
+	if err := c.Submit(Job{
+		ID: "par", Kind: JobBSP, Tasks: 2,
+		WorkPerTask: 60_000,
+		Alloc:       resource.Vector{MIPS: 500, RAMMB: 64},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	drive(c, monday, 2*time.Hour)
+	// Only one dedicated machine: the 2-proc gang can never match, even
+	// though two idle workstations sit there.
+	if c.Stats().BSPCompleted != 0 {
+		t.Fatal("BSP completed without enough dedicated machines")
+	}
+	if c.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", c.Pending())
+	}
+	// Add a second dedicated machine: now it can run.
+	c2 := NewCondorLike(append(nodes, mkNode(t, "d1", 1000, true, nil)))
+	if err := c2.Submit(Job{
+		ID: "par2", Kind: JobBSP, Tasks: 2,
+		WorkPerTask: 60_000,
+		Alloc:       resource.Vector{MIPS: 500, RAMMB: 64},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The shared node objects have already advanced to monday+2h; continue
+	// forward from there.
+	drive(c2, monday.Add(2*time.Hour), 2*time.Hour)
+	if c2.Stats().BSPCompleted != 1 {
+		t.Fatalf("BSPCompleted = %d", c2.Stats().BSPCompleted)
+	}
+}
+
+func TestCondorEvictionRestartsFromCheckpoint(t *testing.T) {
+	office := usage.OfficeWorker
+	nodes := []*node.Node{mkNode(t, "w0", 1000, false, &office)}
+	c := NewCondorLike(nodes, WithCondorCheckpoint(60_000))
+	// Submit at midnight; owner arrives ~09:00; job needs 12h: must suffer
+	// eviction.
+	if err := c.Submit(Job{
+		ID: "long", Kind: JobSequential, Tasks: 1,
+		WorkPerTask: 12 * 3600 * 1000,
+		Alloc:       resource.Vector{MIPS: 1000, RAMMB: 64},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	drive(c, monday, 12*time.Hour)
+	st := c.Stats()
+	if st.TasksEvicted < 1 {
+		t.Fatal("no eviction over a working day")
+	}
+	// Checkpointing bounds loss to one interval per eviction.
+	if st.WorkLostMI > float64(st.TasksEvicted)*60_000 {
+		t.Fatalf("WorkLostMI = %v with %d evictions", st.WorkLostMI, st.TasksEvicted)
+	}
+}
+
+func TestBOINCRejectsBSP(t *testing.T) {
+	b := NewBOINCLike([]*node.Node{mkNode(t, "d0", 1000, true, nil)})
+	err := b.Submit(Job{
+		ID: "par", Kind: JobBSP, Tasks: 2, WorkPerTask: 1,
+		Alloc: resource.Vector{MIPS: 100, RAMMB: 16},
+	})
+	if err == nil {
+		t.Fatal("BSP accepted by boinc-like")
+	}
+	if b.Stats().BSPRejected != 1 {
+		t.Fatalf("BSPRejected = %d", b.Stats().BSPRejected)
+	}
+}
+
+func TestBOINCPullAndComplete(t *testing.T) {
+	nodes := []*node.Node{
+		mkNode(t, "c0", 1000, true, nil),
+		mkNode(t, "c1", 1000, true, nil),
+	}
+	b := NewBOINCLike(nodes)
+	if err := b.Submit(Job{
+		ID: "wu", Kind: JobBag, Tasks: 4,
+		WorkPerTask: 300_000, // 5 min at 1000
+		Alloc:       resource.Vector{MIPS: 1000, RAMMB: 64},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	b.Tick(monday)
+	// Both clients pulled one unit each.
+	if len(nodes[0].RunningTasks())+len(nodes[1].RunningTasks()) != 2 {
+		t.Fatal("clients did not pull work")
+	}
+	drive(b, monday, time.Hour)
+	if b.Stats().TasksCompleted != 4 {
+		t.Fatalf("completed = %d", b.Stats().TasksCompleted)
+	}
+}
+
+func TestBOINCResumeOnSameMachine(t *testing.T) {
+	office := usage.OfficeWorker
+	w := mkNode(t, "w0", 1000, false, &office)
+	d := mkNode(t, "d9", 1000, true, nil)
+	b := NewBOINCLike([]*node.Node{w, d})
+	// Two units: one will land on the workstation and be interrupted at
+	// 09:00; it must resume on w0 (with progress), not migrate to d9.
+	if err := b.Submit(Job{
+		ID: "wu", Kind: JobBag, Tasks: 2,
+		WorkPerTask: 20 * 3600 * 1000, // 20h at 1000 MIPS: spans the workday
+		Alloc:       resource.Vector{MIPS: 1000, RAMMB: 64},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	drive(b, monday, 12*time.Hour) // midnight → noon
+	st := b.Stats()
+	if st.TasksEvicted < 1 {
+		t.Skip("no interruption this seed")
+	}
+	// The interrupted unit is bound to w0 and not running elsewhere.
+	bound := 0
+	for _, tks := range b.bound {
+		bound += len(tks)
+	}
+	running := len(w.RunningTasks()) + len(d.RunningTasks())
+	if bound+running+st.TasksCompleted < 2 {
+		t.Fatalf("lost a work unit: bound=%d running=%d done=%d", bound, running, st.TasksCompleted)
+	}
+	if len(d.RunningTasks()) > 1 {
+		t.Fatal("dedicated client running more than its own unit (migration happened)")
+	}
+	// No work is ever lost: local checkpoints preserve full progress.
+	if st.WorkLostMI != 0 {
+		t.Fatalf("WorkLostMI = %v, want 0 (local checkpointing)", st.WorkLostMI)
+	}
+}
+
+func TestBOINCIgnoresPartiallyIdleNodes(t *testing.T) {
+	// A shared-mode machine whose owner is always somewhat active: the
+	// InteGrade feature BOINC lacks. fullyIdle must reject it.
+	busy := usage.AlwaysBusy
+	spec := resource.MachineSpec{
+		Platform: linux,
+		Capacity: resource.Vector{MIPS: 1000, RAMMB: 1024, DiskMB: 100, NetMbps: 10},
+		LANID:    "lan0",
+	}
+	tr := usage.NewTrace(busy, 3)
+	pol := ncc.Policy{Mode: ncc.ModeShared, CPUFraction: 0.5, RAMFraction: 0.5, IdleAfter: time.Minute}
+	n, err := node.New("shared", spec, tr, pol, monday)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBOINCLike([]*node.Node{n})
+	if err := b.Submit(Job{
+		ID: "wu", Kind: JobSequential, Tasks: 1, WorkPerTask: 1000,
+		Alloc: resource.Vector{MIPS: 100, RAMMB: 16},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	drive(b, monday.Add(10*time.Hour), time.Hour)
+	if b.Stats().TasksCompleted != 0 {
+		t.Fatal("boinc-like used a partially idle machine")
+	}
+}
+
+func TestSchedulerStringsAndSortNodes(t *testing.T) {
+	nodes := []*node.Node{
+		mkNode(t, "b", 500, true, nil),
+		mkNode(t, "a", 500, true, nil),
+		mkNode(t, "c", 2000, true, nil),
+	}
+	sorted := sortNodes(nodes)
+	if sorted[0].ID() != "c" || sorted[1].ID() != "a" || sorted[2].ID() != "b" {
+		t.Fatalf("sortNodes order: %s %s %s", sorted[0].ID(), sorted[1].ID(), sorted[2].ID())
+	}
+	// The input slice is not reordered.
+	if nodes[0].ID() != "b" {
+		t.Fatal("sortNodes mutated input")
+	}
+	c := NewCondorLike(nodes)
+	if c.String() == "" {
+		t.Fatal("empty CondorLike string")
+	}
+	b := NewBOINCLike(nodes)
+	if b.String() == "" {
+		t.Fatal("empty BOINCLike string")
+	}
+	if c.Name() == b.Name() {
+		t.Fatal("scheduler names collide")
+	}
+}
+
+func TestCondorRejectsInvalidJob(t *testing.T) {
+	c := NewCondorLike([]*node.Node{mkNode(t, "d", 500, true, nil)})
+	if err := c.Submit(Job{}); err == nil {
+		t.Fatal("invalid job accepted")
+	}
+	b := NewBOINCLike([]*node.Node{mkNode(t, "e", 500, true, nil)})
+	if err := b.Submit(Job{}); err == nil {
+		t.Fatal("invalid job accepted by boinc-like")
+	}
+}

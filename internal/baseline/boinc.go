@@ -1,0 +1,140 @@
+package baseline
+
+import (
+	"fmt"
+	"time"
+
+	"integrade/internal/node"
+)
+
+// BOINCLike is the pull-based work-unit server baseline. See the package
+// comment for the modelled semantics.
+type BOINCLike struct {
+	nodes   []*node.Node
+	queue   []*task            // unassigned work units, FIFO
+	bound   map[string][]*task // nodeID -> interrupted work units pinned there
+	running map[string]*task
+	jobs    []*jobState
+	stats   Stats
+}
+
+// NewBOINCLike returns a work-unit server over the given client machines.
+func NewBOINCLike(nodes []*node.Node) *BOINCLike {
+	return &BOINCLike{
+		nodes:   sortNodes(nodes),
+		bound:   make(map[string][]*task),
+		running: make(map[string]*task),
+	}
+}
+
+// Name identifies the scheduler in experiment tables.
+func (b *BOINCLike) Name() string { return "boinc-like" }
+
+// Stats returns the counters.
+func (b *BOINCLike) Stats() Stats { return b.stats }
+
+// Submit queues a job's work units. BSP jobs are rejected: the platform has
+// no inter-node communication ("lack of support for parallel applications
+// that demand communication between computing nodes").
+func (b *BOINCLike) Submit(j Job) error {
+	if err := j.Validate(); err != nil {
+		return err
+	}
+	if j.Kind == JobBSP {
+		b.stats.BSPRejected++
+		return fmt.Errorf("baseline: boinc-like rejects BSP job %s", j.ID)
+	}
+	js := newJobState(j)
+	b.jobs = append(b.jobs, js)
+	b.queue = append(b.queue, js.tasks...)
+	return nil
+}
+
+// Pending returns unfinished work units (queued, bound or running).
+func (b *BOINCLike) Pending() int {
+	n := 0
+	for _, js := range b.jobs {
+		for _, tk := range js.tasks {
+			if !tk.done {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Tick advances the clients to now; idle clients pull work. Interrupted
+// units resume only on the machine that holds their local checkpoint.
+func (b *BOINCLike) Tick(now time.Time) {
+	for _, n := range b.nodes {
+		done, evicted := n.Sync(now)
+		for _, t := range done {
+			if tk, ok := b.running[t.ID]; ok {
+				delete(b.running, t.ID)
+				tk.running = false
+				tk.done = true
+				tk.job.completed++
+				b.stats.TasksCompleted++
+			}
+		}
+		for _, t := range evicted {
+			tk, ok := b.running[t.ID]
+			if !ok {
+				continue
+			}
+			delete(b.running, t.ID)
+			tk.running = false
+			b.stats.TasksEvicted++
+			// Local client checkpoint: progress survives in full, but the
+			// unit is pinned to this machine.
+			tk.progress = t.Progress()
+			tk.boundNode = n.ID()
+			b.bound[n.ID()] = append(b.bound[n.ID()], tk)
+		}
+	}
+
+	// Pull phase: every fully idle client asks for work.
+	for _, n := range b.nodes {
+		if !fullyIdle(n, now) {
+			continue
+		}
+		tk := b.nextUnitFor(n)
+		if tk == nil {
+			continue
+		}
+		if !tk.job.job.Alloc.Fits(n.GridCapacity(now)) {
+			// Client too small for this unit; push it back for others.
+			b.queue = append([]*task{tk}, b.queue...)
+			continue
+		}
+		if err := startTask(n, tk, now); err != nil {
+			b.queue = append([]*task{tk}, b.queue...)
+			continue
+		}
+		b.running[tk.id] = tk
+	}
+}
+
+// nextUnitFor returns the unit an idle client should run: first any unit
+// pinned to it (resume from local checkpoint), then the global queue.
+func (b *BOINCLike) nextUnitFor(n *node.Node) *task {
+	if pinned := b.bound[n.ID()]; len(pinned) > 0 {
+		tk := pinned[0]
+		b.bound[n.ID()] = pinned[1:]
+		return tk
+	}
+	for len(b.queue) > 0 {
+		tk := b.queue[0]
+		b.queue = b.queue[1:]
+		if tk.done || tk.running || tk.boundNode != "" {
+			continue // stale entry
+		}
+		return tk
+	}
+	return nil
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (b *BOINCLike) String() string {
+	return fmt.Sprintf("boinc-like{clients=%d pending=%d}", len(b.nodes), b.Pending())
+}

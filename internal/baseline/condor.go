@@ -1,0 +1,203 @@
+package baseline
+
+import (
+	"fmt"
+	"time"
+
+	"integrade/internal/node"
+)
+
+// CondorLike is the central-matchmaker baseline. See the package comment
+// for the modelled semantics.
+type CondorLike struct {
+	nodes []*node.Node
+	queue []*jobState
+	// taskNode maps running task IDs back to tasks for event handling.
+	running map[string]*task
+	stats   Stats
+	// checkpointEvery preserves sequential-job progress in multiples of
+	// this work amount on eviction (Condor's re-linked checkpointing);
+	// zero disables it. Parallel jobs never checkpoint.
+	checkpointEvery float64
+}
+
+// CondorOption configures the baseline.
+type CondorOption func(*CondorLike)
+
+// WithCondorCheckpoint enables sequential-job checkpointing every workMI.
+func WithCondorCheckpoint(workMI float64) CondorOption {
+	return func(c *CondorLike) { c.checkpointEvery = workMI }
+}
+
+// NewCondorLike returns a matchmaker over the given machines.
+func NewCondorLike(nodes []*node.Node, opts ...CondorOption) *CondorLike {
+	c := &CondorLike{
+		nodes:   sortNodes(nodes),
+		running: make(map[string]*task),
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// Name identifies the scheduler in experiment tables.
+func (c *CondorLike) Name() string { return "condor-like" }
+
+// Stats returns the counters.
+func (c *CondorLike) Stats() Stats { return c.stats }
+
+// Submit queues a job. BSP jobs are accepted but will only ever match
+// dedicated machines.
+func (c *CondorLike) Submit(j Job) error {
+	if err := j.Validate(); err != nil {
+		return err
+	}
+	c.queue = append(c.queue, newJobState(j))
+	return nil
+}
+
+// Pending returns the number of unfinished tasks.
+func (c *CondorLike) Pending() int {
+	n := 0
+	for _, js := range c.queue {
+		for _, tk := range js.tasks {
+			if !tk.done {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Tick advances all machines to now, handles completions/evictions, and
+// runs one matchmaking cycle.
+func (c *CondorLike) Tick(now time.Time) {
+	// Harvest events.
+	for _, n := range c.nodes {
+		done, evicted := n.Sync(now)
+		for _, t := range done {
+			if tk, ok := c.running[t.ID]; ok {
+				delete(c.running, t.ID)
+				tk.running = false
+				tk.done = true
+				tk.job.completed++
+				c.stats.TasksCompleted++
+				if tk.job.job.Kind == JobBSP && tk.job.done() {
+					c.stats.BSPCompleted++
+				}
+			}
+		}
+		for _, t := range evicted {
+			tk, ok := c.running[t.ID]
+			if !ok {
+				continue
+			}
+			delete(c.running, t.ID)
+			tk.running = false
+			c.stats.TasksEvicted++
+			switch tk.job.job.Kind {
+			case JobSequential, JobBag:
+				prev := tk.progress
+				if c.checkpointEvery > 0 {
+					intervals := int(t.Progress() / c.checkpointEvery)
+					tk.progress = float64(intervals) * c.checkpointEvery
+				} else {
+					tk.progress = 0
+				}
+				c.stats.WorkLostMI += t.Progress() - tk.progress
+				_ = prev
+			case JobBSP:
+				// A parallel job loses everything: evict its siblings too.
+				c.stats.WorkLostMI += t.Progress()
+				c.abortBSP(tk.job, now)
+			}
+		}
+	}
+	c.match(now)
+}
+
+// abortBSP cancels a BSP job's other running tasks and resets progress.
+func (c *CondorLike) abortBSP(js *jobState, now time.Time) {
+	for _, sib := range js.tasks {
+		sib.progress = 0
+		if !sib.running {
+			continue
+		}
+		for _, n := range c.nodes {
+			if n.ID() == sib.nodeID {
+				if t := n.CancelTask(now, sib.id); t != nil {
+					c.stats.WorkLostMI += t.Progress()
+				}
+				break
+			}
+		}
+		delete(c.running, sib.id)
+		sib.running = false
+	}
+}
+
+// match assigns queued tasks to fully idle machines, whole-machine at a
+// time (Condor claims the machine). BSP jobs match only dedicated machines,
+// gang-style.
+func (c *CondorLike) match(now time.Time) {
+	claimed := make(map[string]bool)
+	idle := func(n *node.Node) bool { return !claimed[n.ID()] && fullyIdle(n, now) }
+
+	for _, js := range c.queue {
+		switch js.job.Kind {
+		case JobBSP:
+			var pending []*task
+			for _, tk := range js.tasks {
+				if !tk.done && !tk.running {
+					pending = append(pending, tk)
+				}
+			}
+			if len(pending) == 0 {
+				continue
+			}
+			// Gang over dedicated machines only.
+			var hosts []*node.Node
+			for _, n := range c.nodes {
+				if len(hosts) == len(pending) {
+					break
+				}
+				if n.Dedicated() && idle(n) && js.job.Alloc.Fits(n.GridCapacity(now)) {
+					hosts = append(hosts, n)
+				}
+			}
+			if len(hosts) < len(pending) {
+				continue
+			}
+			for i, tk := range pending {
+				if err := startTask(hosts[i], tk, now); err != nil {
+					continue
+				}
+				claimed[hosts[i].ID()] = true
+				c.running[tk.id] = tk
+			}
+		default:
+			for _, tk := range js.tasks {
+				if tk.done || tk.running {
+					continue
+				}
+				for _, n := range c.nodes {
+					if !idle(n) || !js.job.Alloc.Fits(n.GridCapacity(now)) {
+						continue
+					}
+					if err := startTask(n, tk, now); err != nil {
+						continue
+					}
+					claimed[n.ID()] = true
+					c.running[tk.id] = tk
+					break
+				}
+			}
+		}
+	}
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (c *CondorLike) String() string {
+	return fmt.Sprintf("condor-like{machines=%d pending=%d}", len(c.nodes), c.Pending())
+}

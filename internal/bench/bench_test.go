@@ -1,0 +1,183 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := Table{
+		ID:      "T1",
+		Title:   "demo",
+		Columns: []string{"a", "bee"},
+		Notes:   []string{"a note"},
+	}
+	tb.AddRow(1, 2.5)
+	tb.AddRow("x", 1e6)
+	out := tb.String()
+	for _, want := range []string{"T1", "demo", "a", "bee", "2.50", "1000000", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	tests := []struct {
+		in   float64
+		want string
+	}{
+		{1, "1"},
+		{1.5, "1.50"},
+		{100, "100"},
+		{0.333, "0.33"},
+		{-2, "-2"},
+	}
+	for _, tt := range tests {
+		if got := formatFloat(tt.in); got != tt.want {
+			t.Fatalf("formatFloat(%v) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestAllRegistered(t *testing.T) {
+	exps := All()
+	if len(exps) != 13 {
+		t.Fatalf("experiments = %d, want 13 (E1-E10 + A1-A3)", len(exps))
+	}
+	seen := make(map[string]bool)
+	for _, e := range exps {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Fatalf("incomplete experiment %+v", e)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment ID %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := median(nil); got != 0 {
+		t.Fatalf("median(nil) = %d", got)
+	}
+	if got := median([]int{3, 1, 2}); got != 2 {
+		t.Fatalf("median = %d", got)
+	}
+	if got := median([]int{5}); got != 5 {
+		t.Fatalf("median single = %d", got)
+	}
+}
+
+// Fast smoke runs of selected experiments: the full versions run via
+// cmd/integrade-bench and the root benchmarks; here we only assert they
+// produce well-formed, plausibly-shaped tables.
+
+func TestExp2Shape(t *testing.T) {
+	tb := Exp2ReservationProtocol(1)
+	if len(tb.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Negotiation rounds per placement must increase with load.
+	first, _ := strconv.ParseFloat(tb.Rows[0][2], 64)
+	last, _ := strconv.ParseFloat(tb.Rows[len(tb.Rows)-1][2], 64)
+	if last <= first {
+		t.Fatalf("rounds per placement did not grow with load: %v -> %v", first, last)
+	}
+}
+
+func TestExp5Shape(t *testing.T) {
+	tb := Exp5OwnerQoS(1)
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	get := func(mode, col string) float64 {
+		for _, r := range tb.Rows {
+			if r[0] != mode {
+				continue
+			}
+			for i, c := range tb.Columns {
+				if c == col {
+					v, _ := strconv.ParseFloat(r[i], 64)
+					return v
+				}
+			}
+		}
+		t.Fatalf("missing %s/%s", mode, col)
+		return 0
+	}
+	if get("greedy", "mean_owner_slowdown") <= 1.1 {
+		t.Fatal("greedy did not slow the owner")
+	}
+	if get("shared", "mean_owner_slowdown") != 1 {
+		t.Fatal("shared mode slowed the owner")
+	}
+	if get("shared", "harvested_MI") <= 0 {
+		t.Fatal("shared mode harvested nothing")
+	}
+	if get("idle-only", "harvested_MI") != 0 {
+		t.Fatal("idle-only harvested from a busy machine")
+	}
+	if get("greedy", "harvested_MI") <= get("shared", "harvested_MI") {
+		t.Fatal("greedy harvested less than shared")
+	}
+}
+
+func TestExp7Shape(t *testing.T) {
+	tb := Exp7VirtualTopology(1)
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	satisfied := 0
+	for _, r := range tb.Rows {
+		if r[len(r)-1] == "true" {
+			satisfied++
+		}
+	}
+	if satisfied != 2 {
+		t.Fatalf("satisfied rows = %d, want 2 (10 and 100 Mbps backbones)", satisfied)
+	}
+}
+
+func TestAblationMaxAttemptsShape(t *testing.T) {
+	tb := AblationMaxAttempts(1)
+	if len(tb.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Placements must be non-decreasing in the attempt budget.
+	prev := -1.0
+	for _, r := range tb.Rows {
+		placed, _ := strconv.ParseFloat(r[1], 64)
+		if placed < prev {
+			t.Fatalf("placements decreased with larger budget: %v", tb.Rows)
+		}
+		prev = placed
+	}
+}
+
+func TestExperimentsDeterministic(t *testing.T) {
+	// Simulated experiments must be bit-identical for a fixed seed (E9 is
+	// wall-clock and exempt).
+	for _, id := range []string{"E2", "E5", "E7", "A2"} {
+		var run func(int64) Table
+		for _, e := range All() {
+			if e.ID == id {
+				run = e.Run
+			}
+		}
+		a := run(7)
+		b := run(7)
+		if len(a.Rows) != len(b.Rows) {
+			t.Fatalf("%s row counts differ: %d vs %d", id, len(a.Rows), len(b.Rows))
+		}
+		for i := range a.Rows {
+			for j := range a.Rows[i] {
+				if a.Rows[i][j] != b.Rows[i][j] {
+					t.Fatalf("%s row %d col %d differs: %q vs %q",
+						id, i, j, a.Rows[i][j], b.Rows[i][j])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,257 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"integrade/internal/asct"
+	"integrade/internal/baseline"
+	"integrade/internal/core"
+	"integrade/internal/grm"
+	"integrade/internal/ncc"
+	"integrade/internal/node"
+	"integrade/internal/resource"
+	"integrade/internal/usage"
+)
+
+// fleetSpec describes the common machine fleet of E10.
+type fleetSpec struct {
+	office, mostlyIdle, nightOwl, dedicated int
+	mips                                    float64
+}
+
+var e10Fleet = fleetSpec{office: 30, mostlyIdle: 10, nightOwl: 6, dedicated: 4, mips: 1000}
+
+// e10Workload is the mixed workload: a bag of sequential tasks plus BSP
+// jobs.
+type e10Workload struct {
+	bagTasks int
+	bagWork  float64 // MI per task
+	bspJobs  int
+	bspProcs int
+	bspWork  float64
+	alloc    resource.Vector
+	horizon  time.Duration
+}
+
+var e10Jobs = e10Workload{
+	bagTasks: 40,
+	bagWork:  2 * 3600 * 400, // 2h at 400 MIPS
+	bspJobs:  3,
+	bspProcs: 4,
+	bspWork:  1 * 3600 * 400,
+	alloc:    resource.Vector{MIPS: 400, RAMMB: 64},
+	horizon:  48 * time.Hour,
+}
+
+// Exp10Baselines runs the same machine fleet and workload under InteGrade,
+// the Condor-like matchmaker, and the BOINC-like work-unit server.
+//
+// Paper claims (§2): Condor's "support for parallel applications is
+// currently quite limited" (dedicated machines only); SETI@home/BOINC lack
+// "support for parallel applications that demand communication" and cannot
+// use "resources of a partially idle node". InteGrade targets all three.
+func Exp10Baselines(seed int64) Table {
+	t := Table{
+		ID:    "E10",
+		Title: "Mixed workload on a 50-machine volatile fleet over 48h",
+		Columns: []string{"scheduler", "bag_done", "bsp_done", "bsp_rejected",
+			"evictions", "delivered_GI", "owner_busy_GI"},
+	}
+
+	runInteGrade(&t, seed)
+	runCondor(&t, seed)
+	runBOINC(&t, seed)
+
+	t.Notes = append(t.Notes,
+		"identical machine specs, owner traces and workload for all three schedulers",
+		"InteGrade runs desktops in NCC shared mode (partial idleness); the baselines by design use only fully idle machines",
+		"delivered_GI: giga-instructions of grid work actually executed",
+	)
+	return t
+}
+
+func runInteGrade(t *Table, seed int64) {
+	g := core.NewGrid(core.WithSeed(seed))
+	defer g.Stop()
+	shared := ncc.Policy{Mode: ncc.ModeShared, CPUFraction: 0.5, RAMFraction: 0.5, IdleAfter: 5 * time.Minute}
+	c, err := g.AddCluster("fleet",
+		core.WithPolicy(grm.UsageAware{}),
+		core.WithSchedulePeriod(2*time.Minute),
+		core.WithUpdatePeriod(5*time.Minute))
+	if err != nil {
+		return
+	}
+	add := func(count int, profile *usage.Profile, dedicated bool) {
+		cfg := core.NodeConfig{
+			Count: count, MIPS: e10Fleet.mips, RAMMB: 1024, DiskMB: 10240,
+			NetMbps: 100, LAN: "lan0", Dedicated: dedicated, Usage: profile,
+		}
+		if !dedicated {
+			cfg.Policy = &shared
+		}
+		_, _ = c.AddNodes(cfg)
+	}
+	office, idleP, owl := usage.OfficeWorker, usage.MostlyIdle, usage.NightOwl
+	add(e10Fleet.office, &office, false)
+	add(e10Fleet.mostlyIdle, &idleP, false)
+	add(e10Fleet.nightOwl, &owl, false)
+	add(e10Fleet.dedicated, nil, true)
+
+	var bagHandles, bspHandles []*core.Handle
+	h, err := g.SubmitTo("fleet", asct.NewApplication("bag").
+		Parametric(e10Jobs.bagTasks, e10Jobs.bagWork).
+		Allocate(e10Jobs.alloc).
+		Checkpoint(900*400)) // 15-min checkpoints
+	if err == nil {
+		bagHandles = append(bagHandles, h)
+	}
+	for j := 0; j < e10Jobs.bspJobs; j++ {
+		h, err := g.SubmitTo("fleet", asct.NewApplication(fmt.Sprintf("bsp%d", j)).
+			BSP(e10Jobs.bspProcs, e10Jobs.bspWork).
+			Allocate(e10Jobs.alloc).
+			Checkpoint(900*400))
+		if err == nil {
+			bspHandles = append(bspHandles, h)
+		}
+	}
+	_ = g.Advance(e10Jobs.horizon)
+
+	bagDone := 0
+	for _, h := range bagHandles {
+		if st, err := h.Status(); err == nil {
+			bagDone += appDone(st)
+		}
+	}
+	bspDone := 0
+	for _, h := range bspHandles {
+		if st, err := h.Status(); err == nil && st.Done() {
+			bspDone++
+		}
+	}
+	// Partial-idleness exploitation: grid work executed while the owner was
+	// actively using the machine — impossible for the baselines.
+	var partialGI float64
+	for _, n := range c.Nodes() {
+		partialGI += n.DeliveredWhileOwnerBusy()
+	}
+	stats := c.GRM().Stats()
+	t.AddRow("integrade", bagDone, bspDone, 0, stats.TasksEvicted,
+		c.DeliveredWork()/1000, partialGI/1000)
+}
+
+// buildFleetNodes creates the baseline fleet (idle-only NCC, as those
+// systems require fully idle machines).
+func buildFleetNodes(seed int64) []*node.Node {
+	start := core.NewGrid(core.WithSeed(seed)).Now() // sim.Epoch
+	var nodes []*node.Node
+	idleOnly := ncc.Policy{Mode: ncc.ModeIdleOnly, CPUFraction: 1, RAMFraction: 0.9, IdleAfter: 5 * time.Minute}
+	mk := func(idx int, profile *usage.Profile, dedicated bool) {
+		spec := resource.MachineSpec{
+			Platform:  core.DefaultPlatform,
+			Capacity:  resource.Vector{MIPS: e10Fleet.mips, RAMMB: 1024, DiskMB: 10240, NetMbps: 100},
+			LANID:     "lan0",
+			Dedicated: dedicated,
+		}
+		var tr *usage.Trace
+		pol := ncc.Generous()
+		if !dedicated {
+			tr = usage.NewTrace(*profile, seed+int64(idx)*131)
+			pol = idleOnly
+		}
+		n, err := node.New(fmt.Sprintf("m%d", idx), spec, tr, pol, start)
+		if err == nil {
+			nodes = append(nodes, n)
+		}
+	}
+	idx := 0
+	office, idleP, owl := usage.OfficeWorker, usage.MostlyIdle, usage.NightOwl
+	for i := 0; i < e10Fleet.office; i++ {
+		mk(idx, &office, false)
+		idx++
+	}
+	for i := 0; i < e10Fleet.mostlyIdle; i++ {
+		mk(idx, &idleP, false)
+		idx++
+	}
+	for i := 0; i < e10Fleet.nightOwl; i++ {
+		mk(idx, &owl, false)
+		idx++
+	}
+	for i := 0; i < e10Fleet.dedicated; i++ {
+		mk(idx, nil, true)
+		idx++
+	}
+	return nodes
+}
+
+func runCondor(t *Table, seed int64) {
+	nodes := buildFleetNodes(seed)
+	c := baseline.NewCondorLike(nodes, baseline.WithCondorCheckpoint(900*400))
+	submitBaselineJobs(c.Submit)
+	driveBaseline(c, nodes, e10Jobs.horizon)
+	st := c.Stats()
+	bspDone := st.BSPCompleted
+	bagDone := st.TasksCompleted - bspDone*e10Jobs.bspProcs
+	t.AddRow("condor-like", bagDone, bspDone, 0, st.TasksEvicted,
+		deliveredGI(nodes), partialGI(nodes))
+}
+
+func runBOINC(t *Table, seed int64) {
+	nodes := buildFleetNodes(seed)
+	b := baseline.NewBOINCLike(nodes)
+	rejected := 0
+	submitBaselineJobs(func(j baseline.Job) error {
+		err := b.Submit(j)
+		if err != nil && j.Kind == baseline.JobBSP {
+			rejected++
+		}
+		return err
+	})
+	driveBaseline(b, nodes, e10Jobs.horizon)
+	st := b.Stats()
+	t.AddRow("boinc-like", st.TasksCompleted, 0, rejected, st.TasksEvicted,
+		deliveredGI(nodes), partialGI(nodes))
+}
+
+func submitBaselineJobs(submit func(baseline.Job) error) {
+	_ = submit(baseline.Job{
+		ID: "bag", Kind: baseline.JobBag,
+		Tasks: e10Jobs.bagTasks, WorkPerTask: e10Jobs.bagWork,
+		Alloc: e10Jobs.alloc,
+	})
+	for j := 0; j < e10Jobs.bspJobs; j++ {
+		_ = submit(baseline.Job{
+			ID: fmt.Sprintf("bsp%d", j), Kind: baseline.JobBSP,
+			Tasks: e10Jobs.bspProcs, WorkPerTask: e10Jobs.bspWork,
+			Alloc: e10Jobs.alloc,
+		})
+	}
+}
+
+func driveBaseline(s interface{ Tick(time.Time) }, nodes []*node.Node, span time.Duration) {
+	if len(nodes) == 0 {
+		return
+	}
+	// All baseline nodes were created at sim.Epoch.
+	start := core.NewGrid().Now()
+	for elapsed := time.Duration(0); elapsed <= span; elapsed += 5 * time.Minute {
+		s.Tick(start.Add(elapsed))
+	}
+}
+
+func deliveredGI(nodes []*node.Node) float64 {
+	var total float64
+	for _, n := range nodes {
+		total += n.DeliveredWork()
+	}
+	return total / 1000
+}
+
+func partialGI(nodes []*node.Node) float64 {
+	var total float64
+	for _, n := range nodes {
+		total += n.DeliveredWhileOwnerBusy()
+	}
+	return total / 1000
+}

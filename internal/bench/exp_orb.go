@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"integrade/internal/orb"
+)
+
+// Exp9ORB measures the lightweight ORB's invocation performance — latency
+// and throughput over the in-process and TCP transports for several payload
+// sizes. These are wall-clock measurements.
+//
+// Paper claim (§5): client nodes use "a very small memory footprint
+// CORBA-compatible implementation" so resource providers are not burdened;
+// the ORB must be cheap.
+func Exp9ORB(seed int64) Table {
+	t := Table{
+		ID:      "E9",
+		Title:   "ORB invocation microbenchmarks (wall clock)",
+		Columns: []string{"transport", "payload_B", "ops", "us_per_op", "MB_per_s"},
+	}
+
+	echo := orb.NewOpMux().Handle("echo", func(_ string, req *orb.Decoder) (*orb.Encoder, error) {
+		data := req.Bytes()
+		if err := req.Err(); err != nil {
+			return nil, orb.Errorf(orb.CodeMarshal, "echo: %v", err)
+		}
+		var e orb.Encoder
+		e.PutBytes(data)
+		return &e, nil
+	})
+
+	run := func(label string, inv orb.Invoker, ref orb.ObjectRef) {
+		for _, payload := range []int{64, 1024, 65536} {
+			var e orb.Encoder
+			e.PutBytes(make([]byte, payload))
+			arg := e.Bytes()
+			// Warm up.
+			for i := 0; i < 100; i++ {
+				if _, err := inv.Invoke(ref, "echo", arg); err != nil {
+					return
+				}
+			}
+			const budget = 150 * time.Millisecond
+			start := time.Now()
+			ops := 0
+			for time.Since(start) < budget {
+				for i := 0; i < 50; i++ {
+					if _, err := inv.Invoke(ref, "echo", arg); err != nil {
+						return
+					}
+					ops++
+				}
+			}
+			elapsed := time.Since(start)
+			usPerOp := float64(elapsed.Microseconds()) / float64(ops)
+			mbps := float64(ops*2*payload) / elapsed.Seconds() / 1e6
+			t.AddRow(label, payload, ops, usPerOp, mbps)
+		}
+	}
+
+	// In-process transport.
+	o := orb.New()
+	adapter := orb.NewAdapter()
+	if err := adapter.Register("echo", echo); err == nil {
+		if ep, err := o.BindLoopback("bench", adapter); err == nil {
+			run("inproc", o, orb.ObjectRef{Endpoint: ep, Key: "echo"})
+		}
+	}
+
+	// TCP loopback transport.
+	tcpAdapter := orb.NewAdapter()
+	if err := tcpAdapter.Register("echo", echo); err == nil {
+		if srv, err := o.ListenTCP("127.0.0.1:0", tcpAdapter); err == nil {
+			run("tcp", o, srv.Ref("echo"))
+			_ = srv.Close()
+		}
+	}
+	o.Close()
+
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("seed %d unused: wall-clock measurement", seed),
+		"inproc is the simulator's transport; tcp is what cmd/ deployments use")
+	return t
+}

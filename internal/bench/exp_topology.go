@@ -1,0 +1,184 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"integrade/internal/asct"
+	"integrade/internal/core"
+	"integrade/internal/protocol"
+	"integrade/internal/resource"
+)
+
+// Exp7VirtualTopology reproduces the paper's canonical request: "execute
+// application X in two groups of 50 nodes, each group connected internally
+// by a 100 Mbps network and the two groups connected by a 10 Mbps network;
+// each node should have at least 16 MB of RAM and a CPU of at least 500
+// MIPS" — against backbones of varying speed and a topology-oblivious
+// control.
+func Exp7VirtualTopology(seed int64) Table {
+	t := Table{
+		ID:      "E7",
+		Title:   "The paper's 2x50-node topology request (two 60-node LANs, >=16MB RAM, >=500 MIPS)",
+		Columns: []string{"placement", "backbone_mbps", "placed", "lans_used", "groups_intact", "satisfied"},
+	}
+	for _, tc := range []struct {
+		label        string
+		backbone     float64
+		withTopology bool
+	}{
+		{"topology-aware", 10, true},
+		{"topology-aware", 100, true},
+		{"topology-aware", 5, true}, // below the 10 Mbps inter requirement
+		{"oblivious", 10, false},
+	} {
+		g := core.NewGrid(core.WithSeed(seed))
+		c, err := g.AddCluster("site", core.WithBackbone(tc.backbone))
+		if err != nil {
+			g.Stop()
+			continue
+		}
+		for _, lan := range []string{"lanA", "lanB"} {
+			cfg := core.DedicatedNodes(60, 800)
+			cfg.LAN = lan
+			if _, err := c.AddNodes(cfg); err != nil {
+				g.Stop()
+				continue
+			}
+		}
+		b := asct.NewApplication("paper-example").
+			BSP(100, 60_000).
+			RequireMinimum(resource.Vector{MIPS: 500, RAMMB: 16}).
+			Allocate(resource.Vector{MIPS: 500, RAMMB: 32})
+		if tc.withTopology {
+			b.Topology(10,
+				protocol.TopologyGroup{Nodes: 50, IntraMbps: 100},
+				protocol.TopologyGroup{Nodes: 50, IntraMbps: 100})
+		}
+		h, err := g.SubmitTo("site", b)
+		if err != nil {
+			g.Stop()
+			continue
+		}
+		st, err := h.Status()
+		if err != nil {
+			g.Stop()
+			continue
+		}
+		placed := 0
+		lanCount := map[string]int{}
+		lanOf := make(map[string]string)
+		for _, n := range c.Nodes() {
+			lanOf[n.ID()] = n.Spec().LANID
+		}
+		for _, task := range st.Tasks {
+			if task.State == protocol.TaskRunning {
+				placed++
+				lanCount[lanOf[task.NodeID]]++
+			}
+		}
+		// Groups intact: with 50-process groups, every used LAN must host
+		// a multiple of 50 processes.
+		groupsIntact := placed > 0
+		for _, n := range lanCount {
+			if n%50 != 0 {
+				groupsIntact = false
+			}
+		}
+		satisfied := placed == 100 && groupsIntact
+		t.AddRow(tc.label, tc.backbone, placed, len(lanCount), groupsIntact, satisfied)
+		g.Stop()
+	}
+	t.Notes = append(t.Notes,
+		"the 5 Mbps backbone correctly rejects the request (inter-group needs 10 Mbps)",
+		"oblivious placement starts processes but scatters groups across LANs")
+	return t
+}
+
+// Exp8Hierarchy measures wide-area routing over growing cluster trees:
+// hops, success and routing volume.
+//
+// Paper claim (§4): "Clusters are then arranged in a hierarchy, allowing a
+// single InteGrade grid to encompass millions of machines."
+func Exp8Hierarchy(seed int64) Table {
+	t := Table{
+		ID:      "E8",
+		Title:   "Hierarchy routing: fanout-3 trees, 6 nodes per cluster, 30 submissions at the root",
+		Columns: []string{"depth", "clusters", "grid_nodes", "routed_ok_%", "mean_hops", "max_hops"},
+	}
+	for _, depth := range []int{1, 2, 3} {
+		g := core.NewGrid(core.WithSeed(seed))
+		// Build a fanout-3 tree of the given depth. Interior clusters get
+		// weak nodes; leaves get the strong ones so work must descend.
+		type level struct{ ids []string }
+		var levels []level
+		rootCluster, err := g.AddCluster("c0")
+		if err != nil {
+			g.Stop()
+			continue
+		}
+		if _, err := rootCluster.AddNodes(core.DedicatedNodes(6, 300)); err != nil {
+			g.Stop()
+			continue
+		}
+		levels = append(levels, level{ids: []string{"c0"}})
+		next := 1
+		for d := 1; d <= depth; d++ {
+			var ids []string
+			mips := 300.0
+			if d == depth {
+				mips = 1500 // leaves hold the capable machines
+			}
+			for _, parent := range levels[d-1].ids {
+				for k := 0; k < 3; k++ {
+					id := fmt.Sprintf("c%d", next)
+					next++
+					cl, err := g.AddCluster(id)
+					if err != nil {
+						continue
+					}
+					if _, err := cl.AddNodes(core.DedicatedNodes(6, mips)); err != nil {
+						continue
+					}
+					if err := g.LinkChild(parent, id); err != nil {
+						continue
+					}
+					ids = append(ids, id)
+				}
+			}
+			levels = append(levels, level{ids: ids})
+		}
+
+		clusters := len(g.Clusters())
+		gridNodes := 6 * clusters
+		ok := 0
+		hopsSum, hopsMax := 0, 0
+		const submissions = 30
+		for j := 0; j < submissions; j++ {
+			h, err := g.Submit(asct.NewApplication(fmt.Sprintf("job%d", j)).
+				Sequential(30_000).
+				Allocate(resource.Vector{MIPS: 1200, RAMMB: 64}))
+			if err != nil {
+				continue
+			}
+			ok++
+			hopsSum += h.Hops()
+			if h.Hops() > hopsMax {
+				hopsMax = h.Hops()
+			}
+			// Let placed work drain so capacity frees up.
+			if j%6 == 5 {
+				_ = g.Advance(5 * time.Minute)
+			}
+		}
+		meanHops := 0.0
+		if ok > 0 {
+			meanHops = float64(hopsSum) / float64(ok)
+		}
+		t.AddRow(depth, clusters, gridNodes, 100*float64(ok)/submissions, meanHops, hopsMax)
+		g.Stop()
+	}
+	t.Notes = append(t.Notes,
+		"demanding jobs route from the weak root to capable leaves: hops track tree depth while success stays high")
+	return t
+}

@@ -1,0 +1,43 @@
+package bsp
+
+import "testing"
+
+func BenchmarkBarrier4Procs(b *testing.B) {
+	r, err := NewRuntime(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	iters := b.N
+	b.ResetTimer()
+	err = r.Run(func(p *Proc) error {
+		for i := 0; i < iters; i++ {
+			if err := p.Sync(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkAllReduce8Procs(b *testing.B) {
+	r, err := NewRuntime(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	iters := b.N
+	b.ResetTimer()
+	err = r.Run(func(p *Proc) error {
+		for i := 0; i < iters; i++ {
+			if _, err := p.AllReduceFloat64(float64(p.PID()), Sum); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}

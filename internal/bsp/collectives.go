@@ -1,0 +1,195 @@
+package bsp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Collective operations built on the BSMP primitives, in the style of the
+// BSPlib level-1 library. Every collective costs one superstep (one Sync)
+// and must be called by all processes in the same superstep.
+
+// Broadcast sends root's payload to every process and returns it. The
+// payload argument is only read on the root.
+func (p *Proc) Broadcast(root int, payload []byte) ([]byte, error) {
+	if root < 0 || root >= p.nprocs {
+		return nil, fmt.Errorf("bsp: broadcast root %d of %d", root, p.nprocs)
+	}
+	if p.pid == root {
+		for q := 0; q < p.nprocs; q++ {
+			if err := p.Send(q, payload); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := p.Sync(); err != nil {
+		return nil, err
+	}
+	msg, ok := p.Move()
+	if !ok {
+		return nil, fmt.Errorf("bsp: broadcast delivered nothing to process %d", p.pid)
+	}
+	return msg, nil
+}
+
+// Gather collects every process's payload on root, ordered by PID. Only the
+// root receives the result; other processes get nil.
+func (p *Proc) Gather(root int, payload []byte) ([][]byte, error) {
+	if root < 0 || root >= p.nprocs {
+		return nil, fmt.Errorf("bsp: gather root %d of %d", root, p.nprocs)
+	}
+	// Prefix each payload with the sender PID so the root can order them.
+	tagged := make([]byte, 8+len(payload))
+	binary.BigEndian.PutUint64(tagged[:8], uint64(p.pid))
+	copy(tagged[8:], payload)
+	if err := p.Send(root, tagged); err != nil {
+		return nil, err
+	}
+	if err := p.Sync(); err != nil {
+		return nil, err
+	}
+	if p.pid != root {
+		return nil, nil
+	}
+	out := make([][]byte, p.nprocs)
+	for {
+		msg, ok := p.Move()
+		if !ok {
+			break
+		}
+		if len(msg) < 8 {
+			return nil, fmt.Errorf("bsp: gather received short message")
+		}
+		from := int(binary.BigEndian.Uint64(msg[:8]))
+		if from < 0 || from >= p.nprocs {
+			return nil, fmt.Errorf("bsp: gather received message from pid %d", from)
+		}
+		out[from] = msg[8:]
+	}
+	for q, m := range out {
+		if m == nil {
+			return nil, fmt.Errorf("bsp: gather missing contribution from process %d", q)
+		}
+	}
+	return out, nil
+}
+
+// AllReduceFloat64 combines one float64 per process with op on every
+// process (all-to-all exchange, one superstep).
+func (p *Proc) AllReduceFloat64(value float64, op func(a, b float64) float64) (float64, error) {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], math.Float64bits(value))
+	for q := 0; q < p.nprocs; q++ {
+		if err := p.Send(q, buf[:]); err != nil {
+			return 0, err
+		}
+	}
+	if err := p.Sync(); err != nil {
+		return 0, err
+	}
+	acc := math.NaN()
+	first := true
+	for {
+		msg, ok := p.Move()
+		if !ok {
+			break
+		}
+		if len(msg) != 8 {
+			return 0, fmt.Errorf("bsp: allreduce received %d-byte message", len(msg))
+		}
+		v := math.Float64frombits(binary.BigEndian.Uint64(msg))
+		if first {
+			acc = v
+			first = false
+		} else {
+			acc = op(acc, v)
+		}
+	}
+	if first {
+		return 0, fmt.Errorf("bsp: allreduce received no contributions")
+	}
+	return acc, nil
+}
+
+// Sum is an AllReduceFloat64 addition operator.
+func Sum(a, b float64) float64 { return a + b }
+
+// Max is an AllReduceFloat64 maximum operator.
+func Max(a, b float64) float64 { return math.Max(a, b) }
+
+// Min is an AllReduceFloat64 minimum operator.
+func Min(a, b float64) float64 { return math.Min(a, b) }
+
+// PrefixSumFloat64 returns the inclusive prefix sum of one float64 per
+// process, ordered by PID (a scan). One superstep.
+func (p *Proc) PrefixSumFloat64(value float64) (float64, error) {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], math.Float64bits(value))
+	// Send to every process with PID >= mine.
+	for q := p.pid; q < p.nprocs; q++ {
+		if err := p.Send(q, buf[:]); err != nil {
+			return 0, err
+		}
+	}
+	if err := p.Sync(); err != nil {
+		return 0, err
+	}
+	var acc float64
+	n := 0
+	for {
+		msg, ok := p.Move()
+		if !ok {
+			break
+		}
+		if len(msg) != 8 {
+			return 0, fmt.Errorf("bsp: scan received %d-byte message", len(msg))
+		}
+		acc += math.Float64frombits(binary.BigEndian.Uint64(msg))
+		n++
+	}
+	if n != p.pid+1 {
+		return 0, fmt.Errorf("bsp: scan on process %d received %d contributions", p.pid, n)
+	}
+	return acc, nil
+}
+
+// Exchange performs a personalized all-to-all: payloads[q] goes to process
+// q; the result r[q] is the payload process q sent here. One superstep.
+func (p *Proc) Exchange(payloads [][]byte) ([][]byte, error) {
+	if len(payloads) != p.nprocs {
+		return nil, fmt.Errorf("bsp: exchange with %d payloads for %d processes", len(payloads), p.nprocs)
+	}
+	for q, payload := range payloads {
+		tagged := make([]byte, 8+len(payload))
+		binary.BigEndian.PutUint64(tagged[:8], uint64(p.pid))
+		copy(tagged[8:], payload)
+		if err := p.Send(q, tagged); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.Sync(); err != nil {
+		return nil, err
+	}
+	out := make([][]byte, p.nprocs)
+	for {
+		msg, ok := p.Move()
+		if !ok {
+			break
+		}
+		if len(msg) < 8 {
+			return nil, fmt.Errorf("bsp: exchange received short message")
+		}
+		from := int(binary.BigEndian.Uint64(msg[:8]))
+		if from < 0 || from >= p.nprocs {
+			return nil, fmt.Errorf("bsp: exchange received message from pid %d", from)
+		}
+		out[from] = msg[8:]
+	}
+	for q, m := range out {
+		if m == nil {
+			return nil, fmt.Errorf("bsp: exchange missing payload from process %d", q)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,136 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"integrade/internal/bsp"
+	"integrade/internal/orb"
+)
+
+// FileStore persists snapshots to a directory, one file per application, so
+// a restarted cluster manager can resume applications across process
+// crashes — the durability the in-memory Store lacks. Snapshots use the
+// portable wire encoding, so files move freely between architectures.
+//
+// It is safe for concurrent use (each Save writes a temp file and renames).
+type FileStore struct {
+	dir string
+	now func() time.Time
+}
+
+// NewFileStore returns a FileStore rooted at dir, creating it if needed.
+func NewFileStore(dir string, now func() time.Time) (*FileStore, error) {
+	if now == nil {
+		now = time.Now
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: create store dir: %w", err)
+	}
+	return &FileStore{dir: dir, now: now}, nil
+}
+
+// Dir returns the store's directory.
+func (fs *FileStore) Dir() string { return fs.dir }
+
+func (fs *FileStore) path(appID string) string {
+	return filepath.Join(fs.dir, sanitize(appID)+".ckpt")
+}
+
+// Save stores (replaces) the snapshot for an application, atomically.
+func (fs *FileStore) Save(appID string, superstep int, states [][]byte) error {
+	if appID == "" {
+		return errors.New("checkpoint: empty app ID")
+	}
+	cp := Snapshot{
+		AppID:     appID,
+		Superstep: superstep,
+		States:    states,
+		TakenAt:   fs.now(),
+	}
+	var e orb.Encoder
+	cp.Encode(&e)
+	tmp, err := os.CreateTemp(fs.dir, ".ckpt-*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(e.Bytes()); err != nil {
+		_ = tmp.Close()
+		_ = os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		_ = os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: close: %w", err)
+	}
+	if err := os.Rename(tmpName, fs.path(appID)); err != nil {
+		_ = os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: rename: %w", err)
+	}
+	return nil
+}
+
+// Latest returns the stored snapshot for an application.
+func (fs *FileStore) Latest(appID string) (Snapshot, error) {
+	data, err := os.ReadFile(fs.path(appID))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return Snapshot{}, fmt.Errorf("%w for %q", ErrNoSnapshot, appID)
+		}
+		return Snapshot{}, fmt.Errorf("checkpoint: read: %w", err)
+	}
+	cp, err := DecodeSnapshot(orb.NewDecoder(data))
+	if err != nil {
+		return Snapshot{}, fmt.Errorf("checkpoint: decode %q: %w", appID, err)
+	}
+	return cp, nil
+}
+
+// Drop removes an application's snapshot file.
+func (fs *FileStore) Drop(appID string) {
+	_ = os.Remove(fs.path(appID))
+}
+
+// Apps lists applications with snapshot files, sorted.
+func (st *FileStore) Apps() []string {
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return nil
+	}
+	var out []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".ckpt") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		out = append(out, strings.TrimSuffix(name, ".ckpt"))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Sink adapts the file store to bsp.CheckpointSink for one application.
+func (fs *FileStore) Sink(appID string) bsp.CheckpointSink {
+	return sinkFunc(func(superstep int, states [][]byte) error {
+		return fs.Save(appID, superstep, states)
+	})
+}
+
+// sanitize keeps app IDs filesystem-safe.
+func sanitize(id string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+			return r
+		default:
+			return '_'
+		}
+	}, id)
+}

@@ -1,0 +1,37 @@
+package constraint
+
+import "testing"
+
+const benchExpr = "mips_free >= 500 and ram_free >= 64 and os == 'linux' and arch == 'amd64' and not owner_busy"
+
+func benchProps() Properties {
+	return Properties{
+		"mips_free":  Number(800),
+		"ram_free":   Number(512),
+		"os":         String("linux"),
+		"arch":       String("amd64"),
+		"owner_busy": Bool(false),
+	}
+}
+
+func BenchmarkCompile(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(benchExpr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEval(b *testing.B) {
+	e := MustCompile(benchExpr)
+	props := benchProps()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ok, err := e.Eval(props)
+		if err != nil || !ok {
+			b.Fatal(ok, err)
+		}
+	}
+}

@@ -1,0 +1,269 @@
+package constraint
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Value is a runtime value of the constraint language: float64, string or
+// bool.
+type Value struct {
+	kind  valueKind
+	num   float64
+	str   string
+	truth bool
+}
+
+type valueKind int
+
+const (
+	kindNumber valueKind = iota + 1
+	kindString
+	kindBool
+)
+
+// Number wraps a float64 as a Value.
+func Number(v float64) Value { return Value{kind: kindNumber, num: v} }
+
+// String wraps a string as a Value.
+func String(v string) Value { return Value{kind: kindString, str: v} }
+
+// Bool wraps a bool as a Value.
+func Bool(v bool) Value { return Value{kind: kindBool, truth: v} }
+
+// AsNumber returns the numeric value and whether the Value is a number.
+func (v Value) AsNumber() (float64, bool) { return v.num, v.kind == kindNumber }
+
+// AsString returns the string value and whether the Value is a string.
+func (v Value) AsString() (string, bool) { return v.str, v.kind == kindString }
+
+// AsBool returns the boolean value and whether the Value is a boolean.
+func (v Value) AsBool() (bool, bool) { return v.truth, v.kind == kindBool }
+
+// GoString renders the value for diagnostics.
+func (v Value) GoString() string {
+	switch v.kind {
+	case kindNumber:
+		return fmt.Sprintf("%g", v.num)
+	case kindString:
+		return fmt.Sprintf("%q", v.str)
+	case kindBool:
+		return fmt.Sprintf("%t", v.truth)
+	}
+	return "<invalid>"
+}
+
+// Context supplies property values during evaluation.
+type Context interface {
+	// Property returns the value of the named property; ok is false when
+	// the property is absent.
+	Property(name string) (Value, bool)
+}
+
+// Properties is a map-backed Context.
+type Properties map[string]Value
+
+// Property implements Context.
+func (p Properties) Property(name string) (Value, bool) {
+	v, ok := p[name]
+	return v, ok
+}
+
+// EvalError describes a type or missing-property failure during evaluation.
+type EvalError struct {
+	Expr string
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *EvalError) Error() string {
+	return fmt.Sprintf("constraint: eval %q: %s", e.Expr, e.Msg)
+}
+
+// ErrMissingProperty is wrapped by evaluation errors caused by property
+// lookups on absent names (use "exist name" to guard).
+var ErrMissingProperty = errors.New("missing property")
+
+// Eval evaluates the expression against ctx and requires a boolean result.
+func (e *Expr) Eval(ctx Context) (bool, error) {
+	v, err := e.root.eval(ctx)
+	if err != nil {
+		return false, &EvalError{Expr: e.src, Msg: err.Error()}
+	}
+	if v.kind != kindBool {
+		return false, &EvalError{Expr: e.src, Msg: "expression is not boolean"}
+	}
+	return v.truth, nil
+}
+
+// EvalNumber evaluates the expression and requires a numeric result. Rank
+// ("preference") expressions use this.
+func (e *Expr) EvalNumber(ctx Context) (float64, error) {
+	v, err := e.root.eval(ctx)
+	if err != nil {
+		return 0, &EvalError{Expr: e.src, Msg: err.Error()}
+	}
+	if v.kind != kindNumber {
+		return 0, &EvalError{Expr: e.src, Msg: "expression is not numeric"}
+	}
+	return v.num, nil
+}
+
+func (n *numberNode) eval(Context) (Value, error) { return Number(n.v), nil }
+func (n *stringNode) eval(Context) (Value, error) { return String(n.v), nil }
+func (n *boolNode) eval(Context) (Value, error)   { return Bool(n.v), nil }
+
+func (n *identNode) eval(ctx Context) (Value, error) {
+	v, ok := ctx.Property(n.name)
+	if !ok {
+		return Value{}, fmt.Errorf("%w: %q", ErrMissingProperty, n.name)
+	}
+	return v, nil
+}
+
+func (n *existNode) eval(ctx Context) (Value, error) {
+	_, ok := ctx.Property(n.name)
+	return Bool(ok), nil
+}
+
+func (n *unaryNode) eval(ctx Context) (Value, error) {
+	v, err := n.child.eval(ctx)
+	if err != nil {
+		return Value{}, err
+	}
+	switch n.op {
+	case "-":
+		if v.kind != kindNumber {
+			return Value{}, fmt.Errorf("unary - on non-number %s", v.GoString())
+		}
+		return Number(-v.num), nil
+	case "not":
+		if v.kind != kindBool {
+			return Value{}, fmt.Errorf("not on non-boolean %s", v.GoString())
+		}
+		return Bool(!v.truth), nil
+	}
+	return Value{}, fmt.Errorf("unknown unary operator %q", n.op)
+}
+
+func (n *binaryNode) eval(ctx Context) (Value, error) {
+	// Short-circuit boolean connectives.
+	switch n.op {
+	case "and", "or":
+		l, err := n.left.eval(ctx)
+		if err != nil {
+			return Value{}, err
+		}
+		if l.kind != kindBool {
+			return Value{}, fmt.Errorf("%s on non-boolean %s", n.op, l.GoString())
+		}
+		if n.op == "and" && !l.truth {
+			return Bool(false), nil
+		}
+		if n.op == "or" && l.truth {
+			return Bool(true), nil
+		}
+		r, err := n.right.eval(ctx)
+		if err != nil {
+			return Value{}, err
+		}
+		if r.kind != kindBool {
+			return Value{}, fmt.Errorf("%s on non-boolean %s", n.op, r.GoString())
+		}
+		return Bool(r.truth), nil
+	}
+
+	l, err := n.left.eval(ctx)
+	if err != nil {
+		return Value{}, err
+	}
+	r, err := n.right.eval(ctx)
+	if err != nil {
+		return Value{}, err
+	}
+
+	switch n.op {
+	case "+", "-", "*", "/":
+		if l.kind != kindNumber || r.kind != kindNumber {
+			return Value{}, fmt.Errorf("arithmetic %s on %s and %s", n.op, l.GoString(), r.GoString())
+		}
+		switch n.op {
+		case "+":
+			return Number(l.num + r.num), nil
+		case "-":
+			return Number(l.num - r.num), nil
+		case "*":
+			return Number(l.num * r.num), nil
+		default:
+			if r.num == 0 {
+				return Value{}, errors.New("division by zero")
+			}
+			return Number(l.num / r.num), nil
+		}
+	case "==", "!=":
+		eq, err := valuesEqual(l, r)
+		if err != nil {
+			return Value{}, err
+		}
+		if n.op == "!=" {
+			eq = !eq
+		}
+		return Bool(eq), nil
+	case "<", "<=", ">", ">=":
+		cmp, err := compareValues(l, r)
+		if err != nil {
+			return Value{}, err
+		}
+		switch n.op {
+		case "<":
+			return Bool(cmp < 0), nil
+		case "<=":
+			return Bool(cmp <= 0), nil
+		case ">":
+			return Bool(cmp > 0), nil
+		default:
+			return Bool(cmp >= 0), nil
+		}
+	case "in":
+		// substring / membership test on strings.
+		if l.kind != kindString || r.kind != kindString {
+			return Value{}, fmt.Errorf("in on %s and %s", l.GoString(), r.GoString())
+		}
+		return Bool(strings.Contains(r.str, l.str)), nil
+	}
+	return Value{}, fmt.Errorf("unknown operator %q", n.op)
+}
+
+func valuesEqual(l, r Value) (bool, error) {
+	if l.kind != r.kind {
+		return false, fmt.Errorf("comparing %s with %s", l.GoString(), r.GoString())
+	}
+	switch l.kind {
+	case kindNumber:
+		return l.num == r.num, nil
+	case kindString:
+		return l.str == r.str, nil
+	default:
+		return l.truth == r.truth, nil
+	}
+}
+
+func compareValues(l, r Value) (int, error) {
+	if l.kind != r.kind || l.kind == kindBool {
+		return 0, fmt.Errorf("ordering %s against %s", l.GoString(), r.GoString())
+	}
+	switch l.kind {
+	case kindNumber:
+		switch {
+		case l.num < r.num:
+			return -1, nil
+		case l.num > r.num:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	default:
+		return strings.Compare(l.str, r.str), nil
+	}
+}

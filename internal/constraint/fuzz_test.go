@@ -1,0 +1,43 @@
+package constraint
+
+import "testing"
+
+// FuzzCompile asserts the lexer/parser never panic and that successfully
+// compiled expressions evaluate without panicking against a fixed context.
+func FuzzCompile(f *testing.F) {
+	for _, seed := range []string{
+		"mips >= 500 and ram >= 16",
+		"not exist gpu or gpu > 1",
+		"os == 'linux'",
+		"((a))",
+		"1 + 2 * 3 - -4 / 5 < 6",
+		"'str' in os",
+		"a = b",
+		"!x && y || z",
+		"", "(", "'", "1..", "exist", "and", "a ? b",
+	} {
+		f.Add(seed)
+	}
+	props := Properties{
+		"mips": Number(800),
+		"ram":  Number(512),
+		"os":   String("linux"),
+		"a":    Bool(true),
+		"b":    Bool(false),
+		"x":    Bool(true),
+		"y":    Bool(false),
+		"z":    Bool(true),
+		"gpu":  Number(2),
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := Compile(src)
+		if err != nil {
+			return // rejections are fine; panics are not
+		}
+		_, _ = e.Eval(props)
+		_, _ = e.EvalNumber(props)
+		if e.Source() != src {
+			t.Fatalf("Source() = %q, want %q", e.Source(), src)
+		}
+	})
+}

@@ -1,0 +1,161 @@
+// Package constraint implements the trader constraint language used by the
+// Trading service to match service offers, analogous to the CORBA Trading
+// service's constraint language (and to Condor ClassAd expressions, which
+// the Condor-like baseline reuses).
+//
+// Grammar (precedence low to high):
+//
+//	expr   := or
+//	or     := and { ("or" | "||") and }
+//	and    := not { ("and" | "&&") not }
+//	not    := ("not" | "!") not | cmp
+//	cmp    := sum [ ("==" | "!=" | "<" | "<=" | ">" | ">=" | "in") sum ]
+//	sum    := prod { ("+" | "-") prod }
+//	prod   := unary { ("*" | "/") unary }
+//	unary  := "-" unary | "exist" ident | primary
+//	primary:= number | string | "true" | "false" | ident | "(" expr ")"
+//
+// Values are numbers (float64), strings and booleans. Property lookups on
+// the evaluation context yield these types; comparing a missing property is
+// an evaluation error unless guarded by "exist".
+package constraint
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota + 1
+	tokNumber
+	tokString
+	tokIdent
+	tokOp      // punctuation operators: == != < <= > >= && || ! + - * / ( )
+	tokKeyword // and or not exist true false in
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	num  float64
+	pos  int
+}
+
+// SyntaxError describes a lexing or parsing failure with its position.
+type SyntaxError struct {
+	Expr string
+	Pos  int
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("constraint: %s at offset %d in %q", e.Msg, e.Pos, e.Expr)
+}
+
+var keywords = map[string]bool{
+	"and": true, "or": true, "not": true,
+	"exist": true, "true": true, "false": true, "in": true,
+}
+
+// lex tokenizes src. It returns the token stream terminated by tokEOF.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	fail := func(pos int, format string, args ...any) error {
+		return &SyntaxError{Expr: src, Pos: pos, Msg: fmt.Sprintf(format, args...)}
+	}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c >= '0' && c <= '9' || c == '.' && i+1 < len(src) && src[i+1] >= '0' && src[i+1] <= '9':
+			start := i
+			seenDot := false
+			for i < len(src) && (src[i] >= '0' && src[i] <= '9' || src[i] == '.' || src[i] == '_') {
+				if src[i] == '.' {
+					if seenDot {
+						return nil, fail(i, "malformed number")
+					}
+					seenDot = true
+				}
+				i++
+			}
+			text := strings.ReplaceAll(src[start:i], "_", "")
+			var num float64
+			if _, err := fmt.Sscanf(text, "%g", &num); err != nil {
+				return nil, fail(start, "malformed number %q", text)
+			}
+			toks = append(toks, token{kind: tokNumber, text: text, num: num, pos: start})
+		case c == '\'' || c == '"':
+			quote := c
+			start := i
+			i++
+			var sb strings.Builder
+			for {
+				if i >= len(src) {
+					return nil, fail(start, "unterminated string")
+				}
+				if src[i] == quote {
+					i++
+					break
+				}
+				if src[i] == '\\' && i+1 < len(src) {
+					i++
+				}
+				sb.WriteByte(src[i])
+				i++
+			}
+			toks = append(toks, token{kind: tokString, text: sb.String(), pos: start})
+		case isIdentStart(rune(c)):
+			start := i
+			for i < len(src) && isIdentPart(rune(src[i])) {
+				i++
+			}
+			word := src[start:i]
+			kind := tokIdent
+			if keywords[strings.ToLower(word)] {
+				kind = tokKeyword
+				word = strings.ToLower(word)
+			}
+			toks = append(toks, token{kind: kind, text: word, pos: start})
+		default:
+			start := i
+			two := ""
+			if i+1 < len(src) {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "==", "!=", "<=", ">=", "&&", "||":
+				toks = append(toks, token{kind: tokOp, text: two, pos: start})
+				i += 2
+				continue
+			}
+			switch c {
+			case '<', '>', '!', '+', '-', '*', '/', '(', ')':
+				toks = append(toks, token{kind: tokOp, text: string(c), pos: start})
+				i++
+			case '=':
+				// Accept single '=' as equality for operator ergonomics.
+				toks = append(toks, token{kind: tokOp, text: "==", pos: start})
+				i++
+			default:
+				return nil, fail(i, "unexpected character %q", string(c))
+			}
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: len(src)})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '.'
+}

@@ -1,0 +1,247 @@
+package constraint
+
+import "fmt"
+
+// node is an AST node. Evaluation dispatches on the concrete type.
+type node interface {
+	eval(ctx Context) (Value, error)
+}
+
+type (
+	numberNode struct{ v float64 }
+	stringNode struct{ v string }
+	boolNode   struct{ v bool }
+	identNode  struct{ name string }
+	existNode  struct{ name string }
+	unaryNode  struct {
+		op    string // "-" or "not"
+		child node
+	}
+	binaryNode struct {
+		op          string
+		left, right node
+	}
+)
+
+// Expr is a compiled constraint expression ready for repeated evaluation.
+type Expr struct {
+	src  string
+	root node
+}
+
+// Source returns the original expression text.
+func (e *Expr) Source() string { return e.src }
+
+// Compile parses src into an Expr.
+func Compile(src string) (*Expr, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{src: src, toks: toks}
+	root, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, p.errorf("unexpected trailing input")
+	}
+	return &Expr{src: src, root: root}, nil
+}
+
+// MustCompile is Compile that panics on error, for static expressions.
+func MustCompile(src string) *Expr {
+	e, err := Compile(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type parser struct {
+	src  string
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return &SyntaxError{Expr: p.src, Pos: p.peek().pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) acceptOp(texts ...string) (string, bool) {
+	t := p.peek()
+	if t.kind != tokOp && t.kind != tokKeyword {
+		return "", false
+	}
+	for _, want := range texts {
+		if t.text == want {
+			p.next()
+			return want, true
+		}
+	}
+	return "", false
+}
+
+func (p *parser) parseOr() (node, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if _, ok := p.acceptOp("or", "||"); !ok {
+			return left, nil
+		}
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &binaryNode{op: "or", left: left, right: right}
+	}
+}
+
+func (p *parser) parseAnd() (node, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if _, ok := p.acceptOp("and", "&&"); !ok {
+			return left, nil
+		}
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &binaryNode{op: "and", left: left, right: right}
+	}
+}
+
+func (p *parser) parseNot() (node, error) {
+	if _, ok := p.acceptOp("not", "!"); ok {
+		child, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &unaryNode{op: "not", child: child}, nil
+	}
+	return p.parseCmp()
+}
+
+func (p *parser) parseCmp() (node, error) {
+	left, err := p.parseSum()
+	if err != nil {
+		return nil, err
+	}
+	op, ok := p.acceptOp("==", "!=", "<", "<=", ">", ">=", "in")
+	if !ok {
+		return left, nil
+	}
+	right, err := p.parseSum()
+	if err != nil {
+		return nil, err
+	}
+	return &binaryNode{op: op, left: left, right: right}, nil
+}
+
+func (p *parser) parseSum() (node, error) {
+	left, err := p.parseProd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op, ok := p.acceptOp("+", "-")
+		if !ok {
+			return left, nil
+		}
+		right, err := p.parseProd()
+		if err != nil {
+			return nil, err
+		}
+		left = &binaryNode{op: op, left: left, right: right}
+	}
+}
+
+func (p *parser) parseProd() (node, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op, ok := p.acceptOp("*", "/")
+		if !ok {
+			return left, nil
+		}
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &binaryNode{op: op, left: left, right: right}
+	}
+}
+
+func (p *parser) parseUnary() (node, error) {
+	if _, ok := p.acceptOp("-"); ok {
+		child, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &unaryNode{op: "-", child: child}, nil
+	}
+	if _, ok := p.acceptOp("exist"); ok {
+		t := p.peek()
+		if t.kind != tokIdent {
+			return nil, p.errorf("exist requires a property name")
+		}
+		p.next()
+		return &existNode{name: t.text}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (node, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.next()
+		return &numberNode{v: t.num}, nil
+	case tokString:
+		p.next()
+		return &stringNode{v: t.text}, nil
+	case tokIdent:
+		p.next()
+		return &identNode{name: t.text}, nil
+	case tokKeyword:
+		switch t.text {
+		case "true":
+			p.next()
+			return &boolNode{v: true}, nil
+		case "false":
+			p.next()
+			return &boolNode{v: false}, nil
+		}
+		return nil, p.errorf("unexpected keyword %q", t.text)
+	case tokOp:
+		if t.text == "(" {
+			p.next()
+			inner, err := p.parseOr()
+			if err != nil {
+				return nil, err
+			}
+			if _, ok := p.acceptOp(")"); !ok {
+				return nil, p.errorf("missing closing parenthesis")
+			}
+			return inner, nil
+		}
+	}
+	return nil, p.errorf("unexpected token %q", t.text)
+}

@@ -1,0 +1,677 @@
+package grm
+
+import (
+	"fmt"
+	"log/slog"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"integrade/internal/constraint"
+	"integrade/internal/orb"
+	"integrade/internal/protocol"
+	"integrade/internal/sim"
+	"integrade/internal/trading"
+)
+
+// Defaults for GRM tunables.
+const (
+	// DefaultOfferTTL ages LRM offers out of the trader when updates stop
+	// (crashed or partitioned nodes).
+	DefaultOfferTTL = 90 * time.Second
+	// DefaultSchedulePeriod is the pending-task scheduling cadence.
+	DefaultSchedulePeriod = 30 * time.Second
+	// DefaultMaxAttempts bounds negotiation rounds per task placement.
+	DefaultMaxAttempts = 8
+	// NodeStatusType is the trader service type for LRM offers.
+	NodeStatusType = "NodeStatus"
+)
+
+// Stats are cumulative GRM counters for experiments.
+type Stats struct {
+	UpdatesReceived   int
+	StalenessSum      time.Duration // sum of (receive time - send time)
+	Submissions       int
+	TasksPlaced       int
+	PlacementFailures int // scheduling passes that left a task pending
+	NegotiationRounds int // reserve RPCs issued
+	Refusals          int // reserve RPCs refused
+	TasksDone         int
+	TasksEvicted      int
+	Restarts          int
+	WorkLostMI        float64 // progress lost to evictions (beyond checkpoints)
+	AppsCancelled     int
+}
+
+// taskInfo is the GRM-side record of one task.
+type taskInfo struct {
+	id              string
+	state           protocol.TaskState
+	nodeID          string
+	lrm             orb.ObjectRef
+	progress        float64
+	work            float64
+	restarts        int
+	initialProgress float64
+}
+
+// appInfo is the GRM-side record of one application.
+type appInfo struct {
+	id           string
+	spec         protocol.ApplicationSpec
+	tasks        []*taskInfo
+	submitted    time.Time
+	finished     time.Time
+	negotiations int
+}
+
+func (a *appInfo) pendingTasks() []*taskInfo {
+	var out []*taskInfo
+	for _, t := range a.tasks {
+		if t.state == protocol.TaskPending {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// GRM is the cluster's Global Resource Manager.
+type GRM struct {
+	clusterID string
+	clock     sim.Clock
+	inv       orb.Invoker
+	trader    *trading.Service
+	policy    Policy
+	rng       *sim.RNG
+	log       *slog.Logger
+
+	offerTTL     time.Duration
+	schedPeriod  time.Duration
+	maxAttempts  int
+	backboneMbps float64
+
+	mu      sync.Mutex
+	apps    map[string]*appInfo
+	seq     int
+	stats   Stats
+	stopped bool
+	started bool
+	timers  []sim.Timer
+}
+
+// Option configures a GRM.
+type Option func(*GRM)
+
+// WithPolicy sets the scheduling policy (default UsageAware).
+func WithPolicy(p Policy) Option {
+	return func(g *GRM) { g.policy = p }
+}
+
+// WithOfferTTL sets the trader offer expiry.
+func WithOfferTTL(d time.Duration) Option {
+	return func(g *GRM) { g.offerTTL = d }
+}
+
+// WithSchedulePeriod sets the pending-task scheduling cadence.
+func WithSchedulePeriod(d time.Duration) Option {
+	return func(g *GRM) { g.schedPeriod = d }
+}
+
+// WithMaxAttempts bounds negotiation rounds per placement.
+func WithMaxAttempts(n int) Option {
+	return func(g *GRM) { g.maxAttempts = n }
+}
+
+// WithBackbone sets the inter-LAN backbone bandwidth used to judge
+// virtual-topology requests (default 10 Mbps).
+func WithBackbone(mbps float64) Option {
+	return func(g *GRM) { g.backboneMbps = mbps }
+}
+
+// WithRNG seeds the policy randomness.
+func WithRNG(rng *sim.RNG) Option {
+	return func(g *GRM) { g.rng = rng }
+}
+
+// WithLogger sets the logger.
+func WithLogger(log *slog.Logger) Option {
+	return func(g *GRM) { g.log = log }
+}
+
+// New returns a GRM for the named cluster. The GRM hosts the cluster's
+// trader internally, mirroring the paper's GRM+Trader cluster-manager node.
+func New(clusterID string, clock sim.Clock, inv orb.Invoker, opts ...Option) *GRM {
+	g := &GRM{
+		clusterID:    clusterID,
+		clock:        clock,
+		inv:          inv,
+		policy:       UsageAware{},
+		rng:          sim.NewRNG(1),
+		log:          slog.New(slog.DiscardHandler),
+		offerTTL:     DefaultOfferTTL,
+		schedPeriod:  DefaultSchedulePeriod,
+		maxAttempts:  DefaultMaxAttempts,
+		backboneMbps: 10,
+		apps:         make(map[string]*appInfo),
+	}
+	g.trader = trading.NewService(clock.Now)
+	for _, opt := range opts {
+		opt(g)
+	}
+	return g
+}
+
+// ClusterID returns the cluster identifier.
+func (g *GRM) ClusterID() string { return g.clusterID }
+
+// Trader exposes the cluster trader (observability, tests).
+func (g *GRM) Trader() *trading.Service { return g.trader }
+
+// PolicyName returns the active scheduling policy's name.
+func (g *GRM) PolicyName() string { return g.policy.Name() }
+
+// Stats returns a snapshot of the counters.
+func (g *GRM) Stats() Stats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.stats
+}
+
+// Start arms the periodic pending-task scheduler.
+func (g *GRM) Start() {
+	g.mu.Lock()
+	if g.started {
+		g.mu.Unlock()
+		return
+	}
+	g.started = true
+	g.stopped = false
+	g.mu.Unlock()
+
+	var arm func()
+	arm = func() {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		if g.stopped {
+			return
+		}
+		t := g.clock.AfterFunc(g.schedPeriod, func() {
+			g.SchedulePending()
+			arm()
+		})
+		g.timers = append(g.timers, t)
+	}
+	arm()
+}
+
+// Stop cancels the periodic scheduler.
+func (g *GRM) Stop() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.stopped = true
+	g.started = false
+	for _, t := range g.timers {
+		t.Stop()
+	}
+	g.timers = nil
+}
+
+// HandleUpdate processes one Information Update Protocol message.
+func (g *GRM) HandleUpdate(s protocol.NodeStatus) {
+	now := g.clock.Now()
+	props := constraint.Properties{
+		PropNode:          constraint.String(s.NodeID),
+		PropMIPSTotal:     constraint.Number(s.Capacity.MIPS),
+		"ram_total":       constraint.Number(s.Capacity.RAMMB),
+		"disk_total":      constraint.Number(s.Capacity.DiskMB),
+		"net_total":       constraint.Number(s.Capacity.NetMbps),
+		PropMIPSFree:      constraint.Number(s.GridFree.MIPS),
+		PropRAMFree:       constraint.Number(s.GridFree.RAMMB),
+		PropDiskFree:      constraint.Number(s.GridFree.DiskMB),
+		PropNetFree:       constraint.Number(s.GridFree.NetMbps),
+		PropLAN:           constraint.String(s.LANID),
+		PropOS:            constraint.String(s.Platform.OS),
+		PropArch:          constraint.String(s.Platform.Arch),
+		PropDedicated:     constraint.Bool(s.Dedicated),
+		PropOwnerBusy:     constraint.Bool(s.OwnerBusy),
+		PropPredictedIdle: constraint.Number(s.PredictedIdle.Seconds()),
+		PropUpdatedUnix:   constraint.Number(float64(s.Timestamp.Unix())),
+	}
+	offer := trading.Offer{
+		ServiceType: NodeStatusType,
+		Ref:         s.LRMRef,
+		Properties:  props,
+		Expires:     now.Add(g.offerTTL),
+	}
+	if _, err := g.trader.ExportKeyed(offer); err != nil {
+		g.log.Warn("offer upsert failed", "node", s.NodeID, "err", err)
+		return
+	}
+	g.mu.Lock()
+	g.stats.UpdatesReceived++
+	if age := now.Sub(s.Timestamp); age > 0 {
+		g.stats.StalenessSum += age
+	}
+	g.mu.Unlock()
+}
+
+// KnownNodes returns the number of live node offers.
+func (g *GRM) KnownNodes() int { return g.trader.Count(NodeStatusType) }
+
+// Submit registers an application and attempts an immediate placement. The
+// returned ID identifies the app in AppStatus.
+func (g *GRM) Submit(spec protocol.ApplicationSpec) (string, error) {
+	if err := spec.Validate(); err != nil {
+		return "", err
+	}
+	g.mu.Lock()
+	g.seq++
+	id := fmt.Sprintf("%s-app-%d", g.clusterID, g.seq)
+	app := &appInfo{
+		id:        id,
+		spec:      spec,
+		submitted: g.clock.Now(),
+	}
+	for i := 0; i < spec.NumTasks; i++ {
+		app.tasks = append(app.tasks, &taskInfo{
+			id:    fmt.Sprintf("%s/t%d", id, i),
+			state: protocol.TaskPending,
+			work:  spec.WorkPerTask,
+		})
+	}
+	g.apps[id] = app
+	g.stats.Submissions++
+	g.mu.Unlock()
+
+	g.scheduleApp(app)
+	return id, nil
+}
+
+// SchedulePending runs one scheduling pass over every app with pending
+// tasks, in submission order.
+func (g *GRM) SchedulePending() {
+	g.mu.Lock()
+	apps := make([]*appInfo, 0, len(g.apps))
+	for _, a := range g.apps {
+		apps = append(apps, a)
+	}
+	g.mu.Unlock()
+	sort.Slice(apps, func(i, j int) bool { return apps[i].id < apps[j].id })
+	for _, a := range apps {
+		g.scheduleApp(a)
+	}
+}
+
+// scheduleApp places an app's pending tasks according to its kind.
+func (g *GRM) scheduleApp(app *appInfo) {
+	g.mu.Lock()
+	pending := app.pendingTasks()
+	g.mu.Unlock()
+	if len(pending) == 0 {
+		return
+	}
+	switch {
+	case app.spec.Topology != nil:
+		g.scheduleTopology(app, pending)
+	case app.spec.Kind == protocol.AppBSP:
+		g.scheduleGang(app, pending)
+	default:
+		for _, t := range pending {
+			if err := g.placeTask(app, t, nil); err != nil {
+				g.mu.Lock()
+				g.stats.PlacementFailures++
+				g.mu.Unlock()
+			}
+		}
+	}
+}
+
+// candidates queries the trader for offers matching the app's requirements.
+func (g *GRM) candidates(spec protocol.ApplicationSpec) ([]trading.Offer, error) {
+	q := trading.Query{
+		ServiceType: NodeStatusType,
+		Constraint:  buildConstraint(spec),
+	}
+	offers, err := g.trader.Select(q)
+	if err != nil {
+		return nil, err
+	}
+	return g.policy.Order(offers, g.rng), nil
+}
+
+// placeTask runs the Resource Reservation and Execution Protocol for one
+// task: candidate selection from the trader hint, direct negotiation with
+// each candidate LRM, reservation, then execution binding. A non-nil
+// exclude set skips named nodes.
+func (g *GRM) placeTask(app *appInfo, t *taskInfo, exclude map[string]bool) error {
+	ordered, err := g.candidates(app.spec)
+	if err != nil {
+		return err
+	}
+	alloc := app.spec.EffectiveAlloc()
+	attempts := 0
+	for _, offer := range ordered {
+		if attempts >= g.maxAttempts {
+			break
+		}
+		nodeID, _ := offer.Properties[PropNode].AsString()
+		if exclude[nodeID] {
+			continue
+		}
+		attempts++
+		lrm := protocol.NewLRMClient(g.inv, offer.Ref)
+		g.mu.Lock()
+		g.stats.NegotiationRounds++
+		app.negotiations++
+		g.mu.Unlock()
+		reply, err := lrm.Reserve(protocol.ReserveRequest{
+			Holder: app.id,
+			Amount: alloc,
+			TTL:    time.Minute,
+		})
+		if err != nil || !reply.Granted {
+			g.mu.Lock()
+			g.stats.Refusals++
+			g.mu.Unlock()
+			continue
+		}
+		err = lrm.Execute(protocol.ExecuteRequest{
+			ReservationID:   reply.ReservationID,
+			TaskID:          t.id,
+			AppID:           app.id,
+			Work:            t.work,
+			Alloc:           alloc,
+			InitialProgress: t.initialProgress,
+		})
+		if err != nil {
+			g.log.Debug("execute failed after grant", "task", t.id, "node", nodeID, "err", err)
+			continue
+		}
+		g.mu.Lock()
+		t.state = protocol.TaskRunning
+		t.nodeID = nodeID
+		t.lrm = offer.Ref
+		t.progress = t.initialProgress
+		g.stats.TasksPlaced++
+		g.mu.Unlock()
+		return nil
+	}
+	return fmt.Errorf("grm: no candidate accepted task %s after %d attempts", t.id, attempts)
+}
+
+// scheduleGang places a BSP app all-or-nothing: every pending process must
+// obtain a reservation before any executes; otherwise the grants are left
+// to expire and the app stays pending.
+func (g *GRM) scheduleGang(app *appInfo, pending []*taskInfo) {
+	ordered, err := g.candidates(app.spec)
+	if err != nil {
+		g.log.Warn("candidate query failed", "app", app.id, "err", err)
+		return
+	}
+	g.reserveAndExecuteGang(app, pending, ordered)
+}
+
+type grant struct {
+	reservationID string
+	nodeID        string
+	ref           orb.ObjectRef
+}
+
+// reserveAndExecuteGang tries to collect one grant per pending task from the
+// ordered candidates (a node may grant several), then executes all of them.
+// Returns true if the gang was placed.
+func (g *GRM) reserveAndExecuteGang(app *appInfo, pending []*taskInfo, ordered []trading.Offer) bool {
+	alloc := app.spec.EffectiveAlloc()
+	var grants []grant
+	attempts := 0
+	budget := g.maxAttempts * max(len(pending), 1)
+	for _, offer := range ordered {
+		if len(grants) == len(pending) || attempts >= budget {
+			break
+		}
+		nodeID, _ := offer.Properties[PropNode].AsString()
+		lrm := protocol.NewLRMClient(g.inv, offer.Ref)
+		// Keep asking this node until it refuses (it may host several
+		// processes when resources allow).
+		for len(grants) < len(pending) && attempts < budget {
+			attempts++
+			g.mu.Lock()
+			g.stats.NegotiationRounds++
+			app.negotiations++
+			g.mu.Unlock()
+			reply, err := lrm.Reserve(protocol.ReserveRequest{
+				Holder: app.id,
+				Amount: alloc,
+				TTL:    time.Minute,
+			})
+			if err != nil || !reply.Granted {
+				g.mu.Lock()
+				g.stats.Refusals++
+				g.mu.Unlock()
+				break
+			}
+			grants = append(grants, grant{
+				reservationID: reply.ReservationID,
+				nodeID:        nodeID,
+				ref:           offer.Ref,
+			})
+		}
+	}
+	if len(grants) < len(pending) {
+		// Not enough nodes: release the partial grants so they do not
+		// block other placements until their TTL expires.
+		for _, gr := range grants {
+			if err := protocol.NewLRMClient(g.inv, gr.ref).Release(gr.reservationID); err != nil {
+				g.log.Debug("release failed", "node", gr.nodeID, "err", err)
+			}
+		}
+		g.mu.Lock()
+		g.stats.PlacementFailures++
+		g.mu.Unlock()
+		return false
+	}
+	for i, t := range pending {
+		gr := grants[i]
+		lrm := protocol.NewLRMClient(g.inv, gr.ref)
+		err := lrm.Execute(protocol.ExecuteRequest{
+			ReservationID:   gr.reservationID,
+			TaskID:          t.id,
+			AppID:           app.id,
+			Work:            t.work,
+			Alloc:           alloc,
+			InitialProgress: t.initialProgress,
+		})
+		if err != nil {
+			g.log.Debug("gang execute failed", "task", t.id, "node", gr.nodeID, "err", err)
+			g.mu.Lock()
+			g.stats.PlacementFailures++
+			g.mu.Unlock()
+			continue
+		}
+		g.mu.Lock()
+		t.state = protocol.TaskRunning
+		t.nodeID = gr.nodeID
+		t.lrm = gr.ref
+		t.progress = t.initialProgress
+		g.stats.TasksPlaced++
+		g.mu.Unlock()
+	}
+	return true
+}
+
+// HandleNotify processes an LRM task event.
+func (g *GRM) HandleNotify(ev protocol.TaskEvent) {
+	g.mu.Lock()
+	app, ok := g.apps[ev.AppID]
+	if !ok {
+		g.mu.Unlock()
+		return
+	}
+	var task *taskInfo
+	for _, t := range app.tasks {
+		if t.id == ev.TaskID {
+			task = t
+			break
+		}
+	}
+	if task == nil {
+		g.mu.Unlock()
+		return
+	}
+	var requeue bool
+	switch ev.Kind {
+	case protocol.TaskEventDone:
+		task.state = protocol.TaskDone
+		task.progress = task.work
+		g.stats.TasksDone++
+		if allDone(app) {
+			app.finished = ev.At
+		}
+	case protocol.TaskEventEvicted:
+		g.stats.TasksEvicted++
+		task.progress = ev.Progress
+		if app.spec.RestartEvicted {
+			// Roll back to the last checkpoint (or zero without
+			// checkpointing) and requeue for placement.
+			ckpt := 0.0
+			if app.spec.CheckpointEveryWork > 0 {
+				intervals := int(ev.Progress / app.spec.CheckpointEveryWork)
+				ckpt = float64(intervals) * app.spec.CheckpointEveryWork
+			}
+			g.stats.WorkLostMI += ev.Progress - ckpt
+			task.initialProgress = ckpt
+			task.state = protocol.TaskPending
+			task.restarts++
+			g.stats.Restarts++
+			requeue = true
+		} else {
+			g.stats.WorkLostMI += ev.Progress
+			task.state = protocol.TaskEvicted
+		}
+	case protocol.TaskEventProgress:
+		task.progress = ev.Progress
+	}
+	g.mu.Unlock()
+
+	if requeue {
+		// Try immediate re-placement, avoiding the node that evicted us.
+		_ = g.placeTask(app, task, map[string]bool{ev.NodeID: true})
+	}
+}
+
+func allDone(app *appInfo) bool {
+	for _, t := range app.tasks {
+		if t.state != protocol.TaskDone {
+			return false
+		}
+	}
+	return true
+}
+
+// CancelApp aborts an application: running tasks are cancelled on their
+// LRMs, pending tasks are dropped. Completed tasks keep their state.
+func (g *GRM) CancelApp(appID string) error {
+	g.mu.Lock()
+	app, ok := g.apps[appID]
+	if !ok {
+		g.mu.Unlock()
+		return fmt.Errorf("grm: unknown application %q", appID)
+	}
+	type victim struct {
+		taskID string
+		ref    orb.ObjectRef
+	}
+	var victims []victim
+	for _, t := range app.tasks {
+		switch t.state {
+		case protocol.TaskRunning:
+			victims = append(victims, victim{taskID: t.id, ref: t.lrm})
+			t.state = protocol.TaskCancelled
+		case protocol.TaskPending:
+			t.state = protocol.TaskCancelled
+		}
+	}
+	g.stats.AppsCancelled++
+	g.mu.Unlock()
+
+	for _, v := range victims {
+		if _, err := protocol.NewLRMClient(g.inv, v.ref).Cancel(v.taskID); err != nil {
+			g.log.Debug("cancel RPC failed", "task", v.taskID, "err", err)
+		}
+	}
+	return nil
+}
+
+// AppStatus returns the status of an application.
+func (g *GRM) AppStatus(appID string) (protocol.AppStatus, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	app, ok := g.apps[appID]
+	if !ok {
+		return protocol.AppStatus{}, fmt.Errorf("grm: unknown application %q", appID)
+	}
+	st := protocol.AppStatus{
+		AppID:        app.id,
+		Name:         app.spec.Name,
+		Kind:         app.spec.Kind,
+		Submitted:    app.submitted,
+		Finished:     app.finished,
+		Negotiations: app.negotiations,
+	}
+	for _, t := range app.tasks {
+		st.Tasks = append(st.Tasks, protocol.TaskStatus{
+			TaskID:   t.id,
+			NodeID:   t.nodeID,
+			State:    t.state,
+			Progress: t.progress,
+			Work:     t.work,
+			Restarts: t.restarts,
+		})
+	}
+	return st, nil
+}
+
+// AppIDs returns all known application IDs, sorted.
+func (g *GRM) AppIDs() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	ids := make([]string, 0, len(g.apps))
+	for id := range g.apps {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// buildConstraint translates an application spec into a trader constraint.
+func buildConstraint(spec protocol.ApplicationSpec) string {
+	alloc := spec.EffectiveAlloc()
+	var parts []string
+	add := func(format string, args ...any) {
+		parts = append(parts, fmt.Sprintf(format, args...))
+	}
+	add("%s >= %g", PropMIPSFree, alloc.MIPS)
+	add("%s >= %g", PropRAMFree, alloc.RAMMB)
+	if alloc.DiskMB > 0 {
+		add("%s >= %g", PropDiskFree, alloc.DiskMB)
+	}
+	if alloc.NetMbps > 0 {
+		add("%s >= %g", PropNetFree, alloc.NetMbps)
+	}
+	min := spec.Requirements.Min
+	if min.MIPS > 0 {
+		add("%s >= %g", PropMIPSTotal, min.MIPS)
+	}
+	if min.RAMMB > 0 {
+		add("ram_total >= %g", min.RAMMB)
+	}
+	if p := spec.Requirements.Platform; p != nil {
+		add("%s == '%s'", PropOS, p.OS)
+		add("%s == '%s'", PropArch, p.Arch)
+	}
+	if spec.Constraint != "" {
+		add("(%s)", spec.Constraint)
+	}
+	return strings.Join(parts, " and ")
+}

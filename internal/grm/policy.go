@@ -1,0 +1,150 @@
+// Package grm implements the Global Resource Manager: the cluster-manager
+// component that receives Information Update Protocol messages from LRMs
+// (storing them in the Trading service, as the paper's GRM stores LRM
+// information in the JacORB Trader), runs the Resource Reservation and
+// Execution Protocol to place applications, and tracks application status
+// for the ASCT.
+package grm
+
+import (
+	"sort"
+
+	"integrade/internal/sim"
+	"integrade/internal/trading"
+)
+
+// Policy orders candidate offers best-first for the reservation protocol.
+// Offers are NodeStatus trader offers; implementations read their numeric
+// properties.
+type Policy interface {
+	// Name identifies the policy in experiment tables.
+	Name() string
+	// Order returns the candidates in descending placement preference.
+	Order(offers []trading.Offer, rng *sim.RNG) []trading.Offer
+}
+
+// Offer property keys written by the GRM's update handler.
+const (
+	PropNode          = "node"
+	PropMIPSTotal     = "mips_total"
+	PropMIPSFree      = "mips_free"
+	PropRAMFree       = "ram_free"
+	PropDiskFree      = "disk_free"
+	PropNetFree       = "net_free"
+	PropLAN           = "lan"
+	PropOS            = "os"
+	PropArch          = "arch"
+	PropDedicated     = "dedicated"
+	PropOwnerBusy     = "owner_busy"
+	PropPredictedIdle = "predicted_idle_s"
+	PropUpdatedUnix   = "updated_unix"
+)
+
+func numProp(o trading.Offer, key string) float64 {
+	v, ok := o.Properties[key]
+	if !ok {
+		return 0
+	}
+	n, _ := v.AsNumber()
+	return n
+}
+
+func boolProp(o trading.Offer, key string) bool {
+	v, ok := o.Properties[key]
+	if !ok {
+		return false
+	}
+	b, _ := v.AsBool()
+	return b
+}
+
+// BestFit prefers nodes with the most free CPU, breaking ties toward more
+// free RAM — a pure load-balance policy blind to usage patterns.
+type BestFit struct{}
+
+// Name implements Policy.
+func (BestFit) Name() string { return "best-fit" }
+
+// Order implements Policy.
+func (BestFit) Order(offers []trading.Offer, _ *sim.RNG) []trading.Offer {
+	out := append([]trading.Offer(nil), offers...)
+	sort.SliceStable(out, func(i, j int) bool {
+		fi, fj := numProp(out[i], PropMIPSFree), numProp(out[j], PropMIPSFree)
+		if fi != fj {
+			return fi > fj
+		}
+		return numProp(out[i], PropRAMFree) > numProp(out[j], PropRAMFree)
+	})
+	return out
+}
+
+// UsageAware prefers nodes predicted to stay idle the longest (dedicated
+// nodes count as indefinitely idle), breaking ties toward free CPU — the
+// paper's LUPA/GUPA-informed scheduling.
+type UsageAware struct{}
+
+// Name implements Policy.
+func (UsageAware) Name() string { return "usage-aware" }
+
+// Order implements Policy.
+func (UsageAware) Order(offers []trading.Offer, _ *sim.RNG) []trading.Offer {
+	score := func(o trading.Offer) float64 {
+		idle := numProp(o, PropPredictedIdle)
+		if boolProp(o, PropDedicated) {
+			idle = 7 * 24 * 3600
+		}
+		if boolProp(o, PropOwnerBusy) {
+			idle = 0
+		}
+		return idle
+	}
+	out := append([]trading.Offer(nil), offers...)
+	sort.SliceStable(out, func(i, j int) bool {
+		si, sj := score(out[i]), score(out[j])
+		if si != sj {
+			return si > sj
+		}
+		return numProp(out[i], PropMIPSFree) > numProp(out[j], PropMIPSFree)
+	})
+	return out
+}
+
+// Random shuffles candidates uniformly — the naive baseline.
+type Random struct{}
+
+// Name implements Policy.
+func (Random) Name() string { return "random" }
+
+// Order implements Policy.
+func (Random) Order(offers []trading.Offer, rng *sim.RNG) []trading.Offer {
+	out := append([]trading.Offer(nil), offers...)
+	if rng != nil {
+		rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	}
+	return out
+}
+
+// RoundRobin rotates through candidates in node-ID order, spreading load
+// without any resource awareness.
+type RoundRobin struct {
+	next int
+}
+
+// Name implements Policy.
+func (*RoundRobin) Name() string { return "round-robin" }
+
+// Order implements Policy.
+func (r *RoundRobin) Order(offers []trading.Offer, _ *sim.RNG) []trading.Offer {
+	out := append([]trading.Offer(nil), offers...)
+	sort.SliceStable(out, func(i, j int) bool {
+		ni, _ := out[i].Properties[PropNode].AsString()
+		nj, _ := out[j].Properties[PropNode].AsString()
+		return ni < nj
+	})
+	if len(out) == 0 {
+		return out
+	}
+	start := r.next % len(out)
+	r.next++
+	return append(out[start:], out[:start]...)
+}

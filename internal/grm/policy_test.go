@@ -1,0 +1,210 @@
+package grm
+
+import (
+	"fmt"
+	"testing"
+
+	"integrade/internal/constraint"
+	"integrade/internal/orb"
+	"integrade/internal/protocol"
+	"integrade/internal/resource"
+	"integrade/internal/sim"
+	"integrade/internal/trading"
+)
+
+func offer(nodeID string, mipsFree, ramFree, idleSec float64, dedicated, busy bool) trading.Offer {
+	return trading.Offer{
+		ServiceType: NodeStatusType,
+		Ref: orb.ObjectRef{
+			Endpoint: orb.Endpoint{Net: orb.NetLoopback, Addr: nodeID},
+			Key:      "lrm",
+		},
+		Properties: constraint.Properties{
+			PropNode:          constraint.String(nodeID),
+			PropMIPSFree:      constraint.Number(mipsFree),
+			PropRAMFree:       constraint.Number(ramFree),
+			PropPredictedIdle: constraint.Number(idleSec),
+			PropDedicated:     constraint.Bool(dedicated),
+			PropOwnerBusy:     constraint.Bool(busy),
+		},
+	}
+}
+
+func order(p Policy, offers []trading.Offer) []string {
+	out := p.Order(offers, sim.NewRNG(1))
+	ids := make([]string, len(out))
+	for i, o := range out {
+		id, _ := o.Properties[PropNode].AsString()
+		ids[i] = id
+	}
+	return ids
+}
+
+func TestBestFitOrdersByFreeCPUThenRAM(t *testing.T) {
+	offers := []trading.Offer{
+		offer("a", 100, 900, 0, false, false),
+		offer("b", 500, 100, 0, false, false),
+		offer("c", 500, 800, 0, false, false),
+	}
+	got := order(BestFit{}, offers)
+	want := []string{"c", "b", "a"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestUsageAwareOrdering(t *testing.T) {
+	offers := []trading.Offer{
+		offer("busy-big", 5000, 900, 7200, false, true),   // owner busy: idle forced to 0
+		offer("idle-short", 300, 100, 1800, false, false), // 30 min predicted
+		offer("idle-long", 200, 100, 14400, false, false), // 4 h predicted
+		offer("dedicated", 100, 100, 0, true, false),      // counts as a week
+	}
+	got := order(UsageAware{}, offers)
+	want := []string{"dedicated", "idle-long", "idle-short", "busy-big"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRandomUsesRNGDeterministically(t *testing.T) {
+	var offers []trading.Offer
+	for i := 0; i < 10; i++ {
+		offers = append(offers, offer(fmt.Sprintf("n%d", i), float64(i), 0, 0, false, false))
+	}
+	a := Random{}.Order(offers, sim.NewRNG(42))
+	b := Random{}.Order(offers, sim.NewRNG(42))
+	for i := range a {
+		ai, _ := a[i].Properties[PropNode].AsString()
+		bi, _ := b[i].Properties[PropNode].AsString()
+		if ai != bi {
+			t.Fatal("same seed produced different orders")
+		}
+	}
+	c := Random{}.Order(offers, sim.NewRNG(43))
+	same := true
+	for i := range a {
+		ai, _ := a[i].Properties[PropNode].AsString()
+		ci, _ := c[i].Properties[PropNode].AsString()
+		if ai != ci {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical order (suspicious)")
+	}
+	// nil RNG keeps the input order.
+	d := Random{}.Order(offers, nil)
+	for i := range offers {
+		di, _ := d[i].Properties[PropNode].AsString()
+		oi, _ := offers[i].Properties[PropNode].AsString()
+		if di != oi {
+			t.Fatal("nil RNG shuffled")
+		}
+	}
+}
+
+func TestRoundRobinRotates(t *testing.T) {
+	offers := []trading.Offer{
+		offer("a", 1, 1, 0, false, false),
+		offer("b", 1, 1, 0, false, false),
+		offer("c", 1, 1, 0, false, false),
+	}
+	rr := &RoundRobin{}
+	first := order(rr, offers)
+	second := order(rr, offers)
+	third := order(rr, offers)
+	fourth := order(rr, offers)
+	if first[0] != "a" || second[0] != "b" || third[0] != "c" || fourth[0] != "a" {
+		t.Fatalf("rotation heads = %s %s %s %s", first[0], second[0], third[0], fourth[0])
+	}
+	if rr.Order(nil, nil) != nil {
+		t.Fatal("empty input should return nil/empty")
+	}
+}
+
+func TestPolicyNamesDistinct(t *testing.T) {
+	names := map[string]bool{}
+	for _, p := range []Policy{BestFit{}, UsageAware{}, Random{}, &RoundRobin{}} {
+		if p.Name() == "" {
+			t.Fatal("empty policy name")
+		}
+		if names[p.Name()] {
+			t.Fatalf("duplicate policy name %q", p.Name())
+		}
+		names[p.Name()] = true
+	}
+}
+
+func TestOrderDoesNotMutateInput(t *testing.T) {
+	offers := []trading.Offer{
+		offer("z", 1, 1, 0, false, false),
+		offer("a", 9, 9, 0, false, false),
+	}
+	_ = BestFit{}.Order(offers, nil)
+	id0, _ := offers[0].Properties[PropNode].AsString()
+	if id0 != "z" {
+		t.Fatal("Order mutated the caller's slice")
+	}
+}
+
+func TestBuildConstraint(t *testing.T) {
+	spec := protocolSpecForConstraintTest()
+	expr := buildConstraint(spec)
+	compiled, err := constraint.Compile(expr)
+	if err != nil {
+		t.Fatalf("generated constraint does not compile: %v\n%s", err, expr)
+	}
+	// A node that satisfies everything.
+	good := constraint.Properties{
+		PropMIPSFree:  constraint.Number(600),
+		PropRAMFree:   constraint.Number(128),
+		PropMIPSTotal: constraint.Number(1000),
+		"ram_total":   constraint.Number(2048),
+		PropOS:        constraint.String("linux"),
+		PropArch:      constraint.String("amd64"),
+		PropOwnerBusy: constraint.Bool(false),
+	}
+	ok, err := compiled.Eval(good)
+	if err != nil || !ok {
+		t.Fatalf("good node rejected: %v %v", ok, err)
+	}
+	// Wrong OS.
+	bad := constraint.Properties{}
+	for k, v := range good {
+		bad[k] = v
+	}
+	bad[PropOS] = constraint.String("windows")
+	if ok, _ := compiled.Eval(bad); ok {
+		t.Fatal("wrong-OS node accepted")
+	}
+	// Busy owner excluded by the user constraint.
+	busy := constraint.Properties{}
+	for k, v := range good {
+		busy[k] = v
+	}
+	busy[PropOwnerBusy] = constraint.Bool(true)
+	if ok, _ := compiled.Eval(busy); ok {
+		t.Fatal("busy node accepted despite user constraint")
+	}
+}
+
+func protocolSpecForConstraintTest() protocol.ApplicationSpec {
+	p := resource.Platform{Arch: "amd64", OS: "linux"}
+	return protocol.ApplicationSpec{
+		Name:        "x",
+		Kind:        protocol.AppSequential,
+		NumTasks:    1,
+		WorkPerTask: 1,
+		Alloc:       resource.Vector{MIPS: 500, RAMMB: 64},
+		Requirements: resource.Requirements{
+			Platform: &p,
+			Min:      resource.Vector{MIPS: 500, RAMMB: 16},
+		},
+		Constraint: "not owner_busy",
+	}
+}

@@ -1,0 +1,94 @@
+package grm
+
+import (
+	"integrade/internal/orb"
+	"integrade/internal/protocol"
+)
+
+// Servant exposes the GRM's remote interface: information updates,
+// application submission, task notifications, status queries and the
+// hierarchy's cluster-summary exchange.
+func (g *GRM) Servant() orb.Servant {
+	return orb.NewOpMux().
+		Handle(protocol.OpUpdate, func(_ string, req *orb.Decoder) (*orb.Encoder, error) {
+			s, err := protocol.DecodeNodeStatus(req)
+			if err != nil {
+				return nil, orb.Errorf(orb.CodeMarshal, "update: %v", err)
+			}
+			g.HandleUpdate(s)
+			return &orb.Encoder{}, nil
+		}).
+		Handle(protocol.OpSubmit, func(_ string, req *orb.Decoder) (*orb.Encoder, error) {
+			spec, err := protocol.DecodeApplicationSpec(req)
+			if err != nil {
+				return nil, orb.Errorf(orb.CodeMarshal, "submit: %v", err)
+			}
+			id, err := g.Submit(spec)
+			if err != nil {
+				return nil, orb.Errorf(orb.CodeApplication, "%s", err.Error())
+			}
+			var e orb.Encoder
+			e.PutString(id)
+			return &e, nil
+		}).
+		Handle(protocol.OpNotify, func(_ string, req *orb.Decoder) (*orb.Encoder, error) {
+			ev, err := protocol.DecodeTaskEvent(req)
+			if err != nil {
+				return nil, orb.Errorf(orb.CodeMarshal, "notify: %v", err)
+			}
+			g.HandleNotify(ev)
+			return &orb.Encoder{}, nil
+		}).
+		Handle(protocol.OpAppStatus, func(_ string, req *orb.Decoder) (*orb.Encoder, error) {
+			appID := req.String()
+			if err := req.Err(); err != nil {
+				return nil, orb.Errorf(orb.CodeMarshal, "appStatus: %v", err)
+			}
+			st, err := g.AppStatus(appID)
+			if err != nil {
+				return nil, orb.Errorf(orb.CodeApplication, "%s", err.Error())
+			}
+			var e orb.Encoder
+			st.Encode(&e)
+			return &e, nil
+		}).
+		Handle(protocol.OpListApps, func(string, *orb.Decoder) (*orb.Encoder, error) {
+			var e orb.Encoder
+			e.PutStrings(g.AppIDs())
+			return &e, nil
+		}).
+		Handle(protocol.OpCancelApp, func(_ string, req *orb.Decoder) (*orb.Encoder, error) {
+			appID := req.String()
+			if err := req.Err(); err != nil {
+				return nil, orb.Errorf(orb.CodeMarshal, "cancelApp: %v", err)
+			}
+			if err := g.CancelApp(appID); err != nil {
+				return nil, orb.Errorf(orb.CodeApplication, "%s", err.Error())
+			}
+			return &orb.Encoder{}, nil
+		}).
+		Handle(protocol.OpPeerInfo, func(string, *orb.Decoder) (*orb.Encoder, error) {
+			s := g.Summary()
+			var e orb.Encoder
+			e.PutString(s.ClusterID)
+			e.PutInt(s.Nodes)
+			e.PutF64(s.FreeMIPS)
+			e.PutF64(s.MaxNodeFreeMIPS)
+			e.PutF64(s.TotalMIPS)
+			e.PutInt(s.PendingTasks)
+			return &e, nil
+		})
+}
+
+// DecodeClusterSummary reads the OpPeerInfo reply payload.
+func DecodeClusterSummary(d *orb.Decoder) (ClusterSummary, error) {
+	s := ClusterSummary{
+		ClusterID:       d.String(),
+		Nodes:           d.Int(),
+		FreeMIPS:        d.F64(),
+		MaxNodeFreeMIPS: d.F64(),
+		TotalMIPS:       d.F64(),
+	}
+	s.PendingTasks = d.Int()
+	return s, d.Err()
+}

@@ -1,0 +1,172 @@
+package gupa
+
+import (
+	"testing"
+	"time"
+
+	"integrade/internal/lupa"
+	"integrade/internal/orb"
+	"integrade/internal/usage"
+)
+
+var monday = time.Date(2026, 1, 5, 0, 0, 0, 0, time.UTC)
+
+// trainedPattern builds a pattern from an office-worker trace.
+func trainedPattern(t *testing.T, seed int64) lupa.Pattern {
+	t.Helper()
+	a := lupa.NewAnalyzer(seed)
+	tr := usage.NewTrace(usage.OfficeWorker, seed)
+	for d := 0; d < 14; d++ {
+		day := monday.AddDate(0, 0, d)
+		for s := 0; s < usage.SlotsPerDay; s++ {
+			at := day.Add(time.Duration(s) * usage.Interval)
+			a.Record(at, tr.At(at))
+		}
+	}
+	a.Record(monday.AddDate(0, 0, 14), usage.Activity{})
+	if err := a.Retrain(); err != nil {
+		t.Fatal(err)
+	}
+	return a.Pattern()
+}
+
+func TestUploadAndPredict(t *testing.T) {
+	s := NewService()
+	p := trainedPattern(t, 3)
+	s.Upload("node-1", p)
+	if s.Uploads() != 1 {
+		t.Fatalf("Uploads = %d", s.Uploads())
+	}
+	if got := s.Nodes(); len(got) != 1 || got[0] != "node-1" {
+		t.Fatalf("Nodes = %v", got)
+	}
+
+	// Friday evening: long idle prediction expected.
+	friday19 := monday.AddDate(0, 0, 4).Add(19 * time.Hour)
+	span, ok := s.PredictIdle("node-1", friday19)
+	if !ok {
+		t.Fatal("no prediction for uploaded pattern")
+	}
+	if span < 4*time.Hour {
+		t.Fatalf("Friday 19:00 prediction = %v", span)
+	}
+	// Unknown node: no prediction.
+	if _, ok := s.PredictIdle("ghost", friday19); ok {
+		t.Fatal("prediction for unknown node")
+	}
+	// Untrained pattern: no prediction.
+	s.Upload("node-2", lupa.Pattern{})
+	if _, ok := s.PredictIdle("node-2", friday19); ok {
+		t.Fatal("prediction from untrained pattern")
+	}
+}
+
+func TestUploadReplaces(t *testing.T) {
+	s := NewService()
+	s.Upload("n", trainedPattern(t, 3))
+	p2 := trainedPattern(t, 4)
+	s.Upload("n", p2)
+	got, ok := s.Pattern("n")
+	if !ok {
+		t.Fatal("pattern missing")
+	}
+	if got.Days != p2.Days {
+		t.Fatalf("Days = %d, want %d", got.Days, p2.Days)
+	}
+	if s.Uploads() != 2 {
+		t.Fatalf("Uploads = %d", s.Uploads())
+	}
+}
+
+func TestPatternWireRoundTrip(t *testing.T) {
+	p := trainedPattern(t, 3)
+	var e orb.Encoder
+	EncodePattern(&e, p)
+	got, err := DecodePattern(orb.NewDecoder(e.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Days != p.Days || len(got.Centroids) != len(p.Centroids) {
+		t.Fatalf("round trip mismatch: %d/%d centroids", len(got.Centroids), len(p.Centroids))
+	}
+	for i := range p.Centroids {
+		for j := range p.Centroids[i] {
+			if got.Centroids[i][j] != p.Centroids[i][j] {
+				t.Fatal("centroid value mismatch")
+			}
+		}
+	}
+	for w := range p.WeekdayCounts {
+		if len(got.WeekdayCounts[w]) != len(p.WeekdayCounts[w]) {
+			t.Fatal("weekday counts length mismatch")
+		}
+		for c := range p.WeekdayCounts[w] {
+			if got.WeekdayCounts[w][c] != p.WeekdayCounts[w][c] {
+				t.Fatal("weekday count mismatch")
+			}
+		}
+	}
+}
+
+func TestServantClientOverLoopback(t *testing.T) {
+	o := orb.New()
+	svc := NewService()
+	adapter := orb.NewAdapter()
+	if err := adapter.Register(ObjectKey, Servant(svc)); err != nil {
+		t.Fatal(err)
+	}
+	ep, err := o.BindLoopback("manager", adapter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := NewClient(o, orb.ObjectRef{Endpoint: ep, Key: ObjectKey})
+
+	p := trainedPattern(t, 3)
+	if err := client.Upload("node-9", p); err != nil {
+		t.Fatal(err)
+	}
+	nodes, err := client.Nodes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 1 || nodes[0] != "node-9" {
+		t.Fatalf("Nodes = %v", nodes)
+	}
+	friday19 := monday.AddDate(0, 0, 4).Add(19 * time.Hour)
+	span, ok, err := client.PredictIdle("node-9", friday19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || span <= 0 {
+		t.Fatalf("PredictIdle = %v, %v", span, ok)
+	}
+	_, ok, err = client.PredictIdle("ghost", friday19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("prediction for unknown node over wire")
+	}
+}
+
+func TestPredictMatchesLocalSemantics(t *testing.T) {
+	// GUPA prediction must equal the pattern's weekday-prior prediction.
+	s := NewService()
+	p := trainedPattern(t, 3)
+	s.Upload("n", p)
+	at := monday.AddDate(0, 0, 8).Add(22 * time.Hour) // Tuesday 22:00
+	span, ok := s.PredictIdle("n", at)
+	if !ok {
+		t.Fatal("no prediction")
+	}
+	slot := 22 * 12
+	cat := p.LikelyCategory(time.Tuesday)
+	want := p.IdleSpanFrom(cat, slot)
+	if want == time.Duration(usage.SlotsPerDay-slot)*usage.Interval {
+		next := p.LikelyCategory(time.Wednesday)
+		want += p.IdleSpanFrom(next, 0)
+	}
+	if span != want {
+		t.Fatalf("PredictIdle = %v, want %v", span, want)
+	}
+}

@@ -1,0 +1,450 @@
+// Package lrm implements the Local Resource Manager: the per-node agent
+// that collects node status, sends it periodically to the GRM (Information
+// Update Protocol), answers reservation negotiations, executes grid tasks
+// under the NCC policy, and feeds the node's LUPA.
+//
+// Per the paper: "The LRM is executed in each cluster node, collecting
+// information about the node status, such as memory, CPU, disk, and network
+// usage. LRMs send this information periodically to the GRM."
+package lrm
+
+import (
+	"log/slog"
+	"sync"
+	"time"
+
+	"integrade/internal/gupa"
+	"integrade/internal/lupa"
+	"integrade/internal/node"
+	"integrade/internal/orb"
+	"integrade/internal/protocol"
+	"integrade/internal/resource"
+	"integrade/internal/sim"
+	"integrade/internal/usage"
+)
+
+// DefaultUpdatePeriod is the Information Update Protocol cadence.
+const DefaultUpdatePeriod = 30 * time.Second
+
+// Stats are cumulative LRM counters for experiments.
+type Stats struct {
+	UpdatesSent     int
+	ReserveRequests int
+	ReserveGrants   int
+	ReserveRefusals int
+	TasksStarted    int
+	TasksCompleted  int
+	TasksEvicted    int
+}
+
+// LRM is one node's local resource manager.
+type LRM struct {
+	node     *node.Node
+	clock    sim.Clock
+	inv      orb.Invoker
+	selfRef  orb.ObjectRef
+	grm      *protocol.GRMClient
+	gupa     *gupa.Client // may be nil
+	analyzer *lupa.Analyzer
+	log      *slog.Logger
+
+	updatePeriod time.Duration
+	reserveTTL   time.Duration
+
+	mu      sync.Mutex
+	taskApp map[string]string // taskID -> appID
+	stats   Stats
+	stopped bool
+	timers  []sim.Timer
+	started bool
+}
+
+// Option configures an LRM.
+type Option func(*LRM)
+
+// WithUpdatePeriod sets the information-update cadence.
+func WithUpdatePeriod(d time.Duration) Option {
+	return func(l *LRM) { l.updatePeriod = d }
+}
+
+// WithGUPA sets the GUPA client used for pattern uploads.
+func WithGUPA(c *gupa.Client) Option {
+	return func(l *LRM) { l.gupa = c }
+}
+
+// WithAnalyzer overrides the default usage-pattern analyzer.
+func WithAnalyzer(a *lupa.Analyzer) Option {
+	return func(l *LRM) { l.analyzer = a }
+}
+
+// WithLogger sets the logger.
+func WithLogger(log *slog.Logger) Option {
+	return func(l *LRM) { l.log = log }
+}
+
+// New returns an LRM managing n, reporting to the GRM at grmRef, reachable
+// at selfRef. Dedicated nodes get no LUPA, per the paper's footnote ("The
+// LUPA is not executed in dedicated nodes").
+func New(n *node.Node, clock sim.Clock, inv orb.Invoker, selfRef orb.ObjectRef, grmRef orb.ObjectRef, opts ...Option) *LRM {
+	l := &LRM{
+		node:         n,
+		clock:        clock,
+		inv:          inv,
+		selfRef:      selfRef,
+		grm:          protocol.NewGRMClient(inv, grmRef),
+		log:          slog.New(slog.DiscardHandler),
+		updatePeriod: DefaultUpdatePeriod,
+		reserveTTL:   time.Minute,
+		taskApp:      make(map[string]string),
+	}
+	if !n.Dedicated() {
+		l.analyzer = lupa.NewAnalyzer(int64(fnv(n.ID())))
+	}
+	for _, opt := range opts {
+		opt(l)
+	}
+	return l
+}
+
+// Node returns the managed node.
+func (l *LRM) Node() *node.Node { return l.node }
+
+// Ref returns the LRM's own object reference.
+func (l *LRM) Ref() orb.ObjectRef { return l.selfRef }
+
+// Analyzer returns the node's LUPA (nil on dedicated nodes).
+func (l *LRM) Analyzer() *lupa.Analyzer { return l.analyzer }
+
+// Stats returns a snapshot of the counters.
+func (l *LRM) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// Start launches the periodic loops: status updates, usage sampling +
+// task-sync, and daily pattern retraining/upload.
+func (l *LRM) Start() {
+	l.mu.Lock()
+	if l.started {
+		l.mu.Unlock()
+		return
+	}
+	l.started = true
+	l.stopped = false
+	l.mu.Unlock()
+
+	l.schedule(l.updatePeriod, l.updateTick)
+	l.schedule(usage.Interval, l.sampleTick)
+	if l.analyzer != nil {
+		l.schedule(24*time.Hour, l.retrainTick)
+	}
+}
+
+// Stop cancels the periodic loops.
+func (l *LRM) Stop() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.stopped = true
+	l.started = false
+	for _, t := range l.timers {
+		t.Stop()
+	}
+	l.timers = nil
+}
+
+// schedule arms a self-rescheduling timer firing every period until Stop.
+func (l *LRM) schedule(period time.Duration, fn func()) {
+	var arm func()
+	arm = func() {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		if l.stopped {
+			return
+		}
+		timer := l.clock.AfterFunc(period, func() {
+			fn()
+			arm()
+		})
+		l.timers = append(l.timers, timer)
+	}
+	arm()
+}
+
+func (l *LRM) updateTick() {
+	l.SendUpdate()
+}
+
+// SendUpdate pushes one Information Update Protocol message now. Task
+// execution is synced first so the reported free capacity (and any
+// completion/eviction notifications) reflect the present.
+func (l *LRM) SendUpdate() {
+	l.SyncTasks()
+	status := l.Status()
+	if err := l.grm.Update(status); err != nil {
+		l.log.Debug("information update failed", "node", l.node.ID(), "err", err)
+		return
+	}
+	l.mu.Lock()
+	l.stats.UpdatesSent++
+	l.mu.Unlock()
+}
+
+// Status builds the node's current NodeStatus.
+func (l *LRM) Status() protocol.NodeStatus {
+	now := l.clock.Now()
+	spec := l.node.Spec()
+	free := l.gridFree(now)
+	var predicted time.Duration
+	if l.analyzer != nil {
+		if span, ok := l.analyzer.PredictIdle(now); ok {
+			predicted = span
+		}
+	} else if l.node.Dedicated() && !l.node.IsDown(now) {
+		predicted = 24 * time.Hour
+	}
+	return protocol.NodeStatus{
+		NodeID:        l.node.ID(),
+		LRMRef:        l.selfRef,
+		Platform:      spec.Platform,
+		LANID:         spec.LANID,
+		Capacity:      spec.Capacity,
+		GridFree:      free,
+		Dedicated:     l.node.Dedicated(),
+		OwnerBusy:     l.node.OwnerActivity(now).Busy(),
+		PredictedIdle: predicted,
+		Timestamp:     now,
+	}
+}
+
+// gridFree computes what the grid could commit right now: the ledger's free
+// amount, further limited by the instantaneous NCC share.
+func (l *LRM) gridFree(now time.Time) resource.Vector {
+	share := l.node.Share(now)
+	if !share.Allowed {
+		return resource.Vector{}
+	}
+	ledger := l.node.Ledger()
+	ledgerFree := ledger.Free(now)
+	used := ledger.Capacity().Sub(ledgerFree)
+	capNow := l.node.GridCapacity(now)
+	return capNow.Sub(used).Clamp().Min(ledgerFree)
+}
+
+// sampleTick feeds the LUPA and advances task execution.
+func (l *LRM) sampleTick() {
+	now := l.clock.Now()
+	if l.analyzer != nil {
+		l.analyzer.Record(now, l.node.OwnerActivity(now))
+	}
+	l.SyncTasks()
+}
+
+// SyncTasks advances the node's task execution to now and notifies the GRM
+// of completions and evictions.
+func (l *LRM) SyncTasks() {
+	now := l.clock.Now()
+	done, evicted := l.node.Sync(now)
+	for _, t := range done {
+		l.notify(protocol.TaskEventDone, t, now)
+		l.mu.Lock()
+		l.stats.TasksCompleted++
+		delete(l.taskApp, t.ID)
+		l.mu.Unlock()
+	}
+	for _, t := range evicted {
+		l.notify(protocol.TaskEventEvicted, t, now)
+		l.mu.Lock()
+		l.stats.TasksEvicted++
+		delete(l.taskApp, t.ID)
+		l.mu.Unlock()
+	}
+	// Progress reports keep the GRM's (and so the ASCT's) view fresh.
+	for _, snap := range l.node.RunningSnapshots() {
+		l.mu.Lock()
+		appID := l.taskApp[snap.ID]
+		l.mu.Unlock()
+		ev := protocol.TaskEvent{
+			Kind:     protocol.TaskEventProgress,
+			AppID:    appID,
+			TaskID:   snap.ID,
+			NodeID:   l.node.ID(),
+			Progress: snap.Progress,
+			At:       now,
+		}
+		if err := l.grm.Notify(ev); err != nil {
+			l.log.Debug("progress notification failed", "task", snap.ID, "err", err)
+		}
+	}
+}
+
+// NotifyEvicted reports an out-of-band eviction (e.g. a node crash handled
+// above the LRM) to the GRM and updates the counters.
+func (l *LRM) NotifyEvicted(t *node.Task) {
+	l.notify(protocol.TaskEventEvicted, t, l.clock.Now())
+	l.mu.Lock()
+	l.stats.TasksEvicted++
+	delete(l.taskApp, t.ID)
+	l.mu.Unlock()
+}
+
+func (l *LRM) notify(kind protocol.TaskEventKind, t *node.Task, now time.Time) {
+	l.mu.Lock()
+	appID := l.taskApp[t.ID]
+	l.mu.Unlock()
+	ev := protocol.TaskEvent{
+		Kind:     kind,
+		AppID:    appID,
+		TaskID:   t.ID,
+		NodeID:   l.node.ID(),
+		Progress: t.Progress(),
+		At:       now,
+	}
+	if err := l.grm.Notify(ev); err != nil {
+		l.log.Debug("task notification failed", "task", t.ID, "err", err)
+	}
+}
+
+// retrainTick retrains the LUPA daily and uploads the pattern to the GUPA.
+func (l *LRM) retrainTick() {
+	if l.analyzer == nil {
+		return
+	}
+	if err := l.analyzer.Retrain(); err != nil {
+		return // not enough history yet
+	}
+	if l.gupa != nil {
+		if err := l.gupa.Upload(l.node.ID(), l.analyzer.Pattern()); err != nil {
+			l.log.Debug("pattern upload failed", "node", l.node.ID(), "err", err)
+		}
+	}
+}
+
+// Servant exposes the LRM's reservation/execution interface.
+func (l *LRM) Servant() orb.Servant {
+	return orb.NewOpMux().
+		Handle(protocol.OpReserve, func(_ string, req *orb.Decoder) (*orb.Encoder, error) {
+			r, err := protocol.DecodeReserveRequest(req)
+			if err != nil {
+				return nil, orb.Errorf(orb.CodeMarshal, "reserve: %v", err)
+			}
+			reply := l.handleReserve(r)
+			var e orb.Encoder
+			reply.Encode(&e)
+			return &e, nil
+		}).
+		Handle(protocol.OpRelease, func(_ string, req *orb.Decoder) (*orb.Encoder, error) {
+			id := req.String()
+			if err := req.Err(); err != nil {
+				return nil, orb.Errorf(orb.CodeMarshal, "release: %v", err)
+			}
+			// Unknown or already-expired reservations are fine to release.
+			_ = l.node.Ledger().Cancel(id)
+			return &orb.Encoder{}, nil
+		}).
+		Handle(protocol.OpExecute, func(_ string, req *orb.Decoder) (*orb.Encoder, error) {
+			r, err := protocol.DecodeExecuteRequest(req)
+			if err != nil {
+				return nil, orb.Errorf(orb.CodeMarshal, "execute: %v", err)
+			}
+			if err := l.handleExecute(r); err != nil {
+				return nil, err
+			}
+			return &orb.Encoder{}, nil
+		}).
+		Handle(protocol.OpCancel, func(_ string, req *orb.Decoder) (*orb.Encoder, error) {
+			taskID := req.String()
+			if err := req.Err(); err != nil {
+				return nil, orb.Errorf(orb.CodeMarshal, "cancel: %v", err)
+			}
+			progress := l.handleCancel(taskID)
+			var e orb.Encoder
+			e.PutF64(progress)
+			return &e, nil
+		}).
+		Handle(protocol.OpNodeState, func(string, *orb.Decoder) (*orb.Encoder, error) {
+			var e orb.Encoder
+			l.Status().Encode(&e)
+			return &e, nil
+		})
+}
+
+// handleReserve is the negotiation step: the LRM re-checks that it actually
+// has the resources at this moment and, if possible, reserves them.
+func (l *LRM) handleReserve(r protocol.ReserveRequest) protocol.ReserveReply {
+	now := l.clock.Now()
+	l.mu.Lock()
+	l.stats.ReserveRequests++
+	l.mu.Unlock()
+
+	refuse := func(reason string) protocol.ReserveReply {
+		l.mu.Lock()
+		l.stats.ReserveRefusals++
+		l.mu.Unlock()
+		return protocol.ReserveReply{Reason: reason}
+	}
+
+	if l.node.IsDown(now) {
+		return refuse("node down")
+	}
+	share := l.node.Share(now)
+	if !share.Allowed {
+		return refuse("sharing not allowed now")
+	}
+	if !r.Amount.Fits(l.gridFree(now)) {
+		return refuse("insufficient free capacity")
+	}
+	ttl := r.TTL
+	if ttl <= 0 {
+		ttl = l.reserveTTL
+	}
+	res, err := l.node.Ledger().Reserve(r.Amount, r.Holder, now, now.Add(ttl))
+	if err != nil {
+		return refuse(err.Error())
+	}
+	l.mu.Lock()
+	l.stats.ReserveGrants++
+	l.mu.Unlock()
+	return protocol.ReserveReply{Granted: true, ReservationID: res.ID}
+}
+
+// handleExecute commits the reservation and starts the task.
+func (l *LRM) handleExecute(r protocol.ExecuteRequest) error {
+	now := l.clock.Now()
+	if err := l.node.Ledger().Commit(r.ReservationID, now); err != nil {
+		return orb.Errorf(orb.CodeApplication, "commit %s: %v", r.ReservationID, err)
+	}
+	task := node.Task{ID: r.TaskID, Work: r.Work, Alloc: r.Alloc}
+	task.SetProgress(r.InitialProgress)
+	if err := l.node.StartTask(now, task); err != nil {
+		l.node.Ledger().Release(r.Alloc)
+		return orb.Errorf(orb.CodeApplication, "start task %s: %v", r.TaskID, err)
+	}
+	l.mu.Lock()
+	l.taskApp[r.TaskID] = r.AppID
+	l.stats.TasksStarted++
+	l.mu.Unlock()
+	return nil
+}
+
+func (l *LRM) handleCancel(taskID string) float64 {
+	now := l.clock.Now()
+	task := l.node.CancelTask(now, taskID)
+	l.mu.Lock()
+	delete(l.taskApp, taskID)
+	l.mu.Unlock()
+	if task == nil {
+		return 0
+	}
+	return task.Progress()
+}
+
+// fnv hashes a string for deterministic per-node seeds.
+func fnv(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}

@@ -1,0 +1,422 @@
+package lrm
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"integrade/internal/ncc"
+	"integrade/internal/node"
+	"integrade/internal/orb"
+	"integrade/internal/protocol"
+	"integrade/internal/resource"
+	"integrade/internal/sim"
+	"integrade/internal/usage"
+)
+
+var linux = resource.Platform{Arch: "amd64", OS: "linux"}
+
+// fakeGRM records updates and notifications sent by the LRM.
+type fakeGRM struct {
+	mu       sync.Mutex
+	updates  []protocol.NodeStatus
+	events   []protocol.TaskEvent
+	failNext bool
+}
+
+func (f *fakeGRM) servant() orb.Servant {
+	return orb.NewOpMux().
+		Handle(protocol.OpUpdate, func(_ string, req *orb.Decoder) (*orb.Encoder, error) {
+			f.mu.Lock()
+			defer f.mu.Unlock()
+			if f.failNext {
+				f.failNext = false
+				return nil, orb.Errorf(orb.CodeTransport, "injected")
+			}
+			s, err := protocol.DecodeNodeStatus(req)
+			if err != nil {
+				return nil, err
+			}
+			f.updates = append(f.updates, s)
+			return &orb.Encoder{}, nil
+		}).
+		Handle(protocol.OpNotify, func(_ string, req *orb.Decoder) (*orb.Encoder, error) {
+			ev, err := protocol.DecodeTaskEvent(req)
+			if err != nil {
+				return nil, err
+			}
+			f.mu.Lock()
+			f.events = append(f.events, ev)
+			f.mu.Unlock()
+			return &orb.Encoder{}, nil
+		})
+}
+
+func (f *fakeGRM) updateCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.updates)
+}
+
+func (f *fakeGRM) lastUpdate() protocol.NodeStatus {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.updates[len(f.updates)-1]
+}
+
+func (f *fakeGRM) eventList() []protocol.TaskEvent {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]protocol.TaskEvent(nil), f.events...)
+}
+
+type fixture struct {
+	clock *sim.VirtualClock
+	o     *orb.ORB
+	grm   *fakeGRM
+	lrm   *LRM
+	node  *node.Node
+	lrmC  *protocol.LRMClient
+}
+
+func newFixture(t *testing.T, spec resource.MachineSpec, trace *usage.Trace, pol ncc.Policy, opts ...Option) *fixture {
+	t.Helper()
+	clock := sim.NewVirtualClock()
+	o := orb.New()
+	f := &fakeGRM{}
+	grmAdapter := orb.NewAdapter()
+	if err := grmAdapter.Register(protocol.GRMKey, f.servant()); err != nil {
+		t.Fatal(err)
+	}
+	grmEP, err := o.BindLoopback("mgr", grmAdapter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := node.New("n0", spec, trace, pol, clock.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodeAdapter := orb.NewAdapter()
+	nodeEP, err := o.BindLoopback("n0", nodeAdapter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	selfRef := orb.ObjectRef{Endpoint: nodeEP, Key: protocol.LRMKey}
+	l := New(n, clock, o, selfRef, orb.ObjectRef{Endpoint: grmEP, Key: protocol.GRMKey}, opts...)
+	if err := nodeAdapter.Register(protocol.LRMKey, l.Servant()); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(l.Stop)
+	return &fixture{
+		clock: clock,
+		o:     o,
+		grm:   f,
+		lrm:   l,
+		node:  n,
+		lrmC:  protocol.NewLRMClient(o, selfRef),
+	}
+}
+
+func dedicatedSpec(mips float64) resource.MachineSpec {
+	return resource.MachineSpec{
+		Platform:  linux,
+		Capacity:  resource.Vector{MIPS: mips, RAMMB: 1024, DiskMB: 10240, NetMbps: 100},
+		LANID:     "lan0",
+		Dedicated: true,
+	}
+}
+
+func TestPeriodicUpdates(t *testing.T) {
+	f := newFixture(t, dedicatedSpec(1000), nil, ncc.Generous(),
+		WithUpdatePeriod(30*time.Second))
+	f.lrm.Start()
+	f.clock.Advance(5 * time.Minute)
+	if got := f.grm.updateCount(); got != 10 {
+		t.Fatalf("updates in 5 min at 30s period = %d, want 10", got)
+	}
+	s := f.grm.lastUpdate()
+	if s.NodeID != "n0" || !s.Dedicated {
+		t.Fatalf("status = %+v", s)
+	}
+	if s.GridFree.MIPS != 1000 {
+		t.Fatalf("GridFree = %v", s.GridFree)
+	}
+	if got := f.lrm.Stats().UpdatesSent; got != 10 {
+		t.Fatalf("UpdatesSent = %d", got)
+	}
+}
+
+func TestUpdateFailureTolerated(t *testing.T) {
+	f := newFixture(t, dedicatedSpec(1000), nil, ncc.Generous(),
+		WithUpdatePeriod(30*time.Second))
+	f.grm.failNext = true
+	f.lrm.Start()
+	f.clock.Advance(90 * time.Second)
+	// 3 attempts, first failed: 2 recorded.
+	if got := f.lrm.Stats().UpdatesSent; got != 2 {
+		t.Fatalf("UpdatesSent = %d, want 2", got)
+	}
+	if got := f.grm.updateCount(); got != 2 {
+		t.Fatalf("received = %d, want 2", got)
+	}
+}
+
+func TestReserveExecuteLifecycle(t *testing.T) {
+	f := newFixture(t, dedicatedSpec(1000), nil, ncc.Generous())
+	alloc := resource.Vector{MIPS: 1000, RAMMB: 128}
+	reply, err := f.lrmC.Reserve(protocol.ReserveRequest{Holder: "app", Amount: alloc, TTL: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reply.Granted {
+		t.Fatalf("refused: %s", reply.Reason)
+	}
+	err = f.lrmC.Execute(protocol.ExecuteRequest{
+		ReservationID: reply.ReservationID,
+		TaskID:        "app/t0",
+		AppID:         "app",
+		Work:          600_000, // 10 min at 1000 MIPS
+		Alloc:         alloc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.lrm.Stats().TasksStarted; got != 1 {
+		t.Fatalf("TasksStarted = %d", got)
+	}
+	// Advance past completion; SyncTasks is driven by the sample tick.
+	f.lrm.Start()
+	f.clock.Advance(15 * time.Minute)
+	events := f.grm.eventList()
+	var done int
+	for _, ev := range events {
+		if ev.Kind == protocol.TaskEventDone && ev.TaskID == "app/t0" {
+			done++
+			if ev.AppID != "app" || ev.NodeID != "n0" {
+				t.Fatalf("event fields: %+v", ev)
+			}
+		}
+	}
+	if done != 1 {
+		t.Fatalf("done events = %d, want 1", done)
+	}
+	if got := f.lrm.Stats().TasksCompleted; got != 1 {
+		t.Fatalf("TasksCompleted = %d", got)
+	}
+}
+
+func TestReserveRefusalReasons(t *testing.T) {
+	f := newFixture(t, dedicatedSpec(1000), nil, ncc.Generous())
+	// Too large.
+	reply, err := f.lrmC.Reserve(protocol.ReserveRequest{
+		Holder: "a", Amount: resource.Vector{MIPS: 5000}, TTL: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Granted {
+		t.Fatal("oversized reservation granted")
+	}
+	if reply.Reason == "" {
+		t.Fatal("refusal without reason")
+	}
+	// Node down.
+	f.node.Fail(f.clock.Now(), time.Hour)
+	reply, err = f.lrmC.Reserve(protocol.ReserveRequest{
+		Holder: "a", Amount: resource.Vector{MIPS: 10}, TTL: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Granted {
+		t.Fatal("down node granted reservation")
+	}
+	st := f.lrm.Stats()
+	if st.ReserveRefusals != 2 || st.ReserveGrants != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestReleaseFreesReservation(t *testing.T) {
+	f := newFixture(t, dedicatedSpec(1000), nil, ncc.Generous())
+	alloc := resource.Vector{MIPS: 1000, RAMMB: 128}
+	reply, err := f.lrmC.Reserve(protocol.ReserveRequest{Holder: "a", Amount: alloc, TTL: time.Hour})
+	if err != nil || !reply.Granted {
+		t.Fatalf("reserve: %v %+v", err, reply)
+	}
+	// Second identical reservation must fail while the first holds.
+	r2, _ := f.lrmC.Reserve(protocol.ReserveRequest{Holder: "b", Amount: alloc, TTL: time.Hour})
+	if r2.Granted {
+		t.Fatal("double booking")
+	}
+	if err := f.lrmC.Release(reply.ReservationID); err != nil {
+		t.Fatal(err)
+	}
+	r3, _ := f.lrmC.Reserve(protocol.ReserveRequest{Holder: "c", Amount: alloc, TTL: time.Hour})
+	if !r3.Granted {
+		t.Fatal("release did not free capacity")
+	}
+	// Releasing an unknown ID is harmless.
+	if err := f.lrmC.Release("ghost"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExecuteUnknownReservationFails(t *testing.T) {
+	f := newFixture(t, dedicatedSpec(1000), nil, ncc.Generous())
+	err := f.lrmC.Execute(protocol.ExecuteRequest{
+		ReservationID: "ghost",
+		TaskID:        "t",
+		Work:          100,
+		Alloc:         resource.Vector{MIPS: 100},
+	})
+	if !orb.IsCode(err, orb.CodeApplication) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCancelReturnsProgress(t *testing.T) {
+	f := newFixture(t, dedicatedSpec(1000), nil, ncc.Generous())
+	alloc := resource.Vector{MIPS: 1000, RAMMB: 64}
+	reply, _ := f.lrmC.Reserve(protocol.ReserveRequest{Holder: "a", Amount: alloc, TTL: time.Minute})
+	if err := f.lrmC.Execute(protocol.ExecuteRequest{
+		ReservationID: reply.ReservationID,
+		TaskID:        "t", AppID: "a", Work: 1e9, Alloc: alloc,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f.clock.Advance(10 * time.Minute)
+	progress, err := f.lrmC.Cancel("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1000.0 * 600 // 10 min at 1000 MIPS
+	if progress < want*0.9 || progress > want*1.1 {
+		t.Fatalf("progress = %v, want ~%v", progress, want)
+	}
+	// Unknown task cancels to zero progress.
+	progress, err = f.lrmC.Cancel("ghost")
+	if err != nil || progress != 0 {
+		t.Fatalf("ghost cancel = %v, %v", progress, err)
+	}
+}
+
+func TestNodeStateOverWire(t *testing.T) {
+	f := newFixture(t, dedicatedSpec(1000), nil, ncc.Generous())
+	s, err := f.lrmC.NodeState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NodeID != "n0" || s.Capacity.MIPS != 1000 {
+		t.Fatalf("NodeState = %+v", s)
+	}
+	// Dedicated node advertises a long predicted idle.
+	if s.PredictedIdle <= 0 {
+		t.Fatalf("dedicated PredictedIdle = %v", s.PredictedIdle)
+	}
+}
+
+func TestEvictionNotification(t *testing.T) {
+	spec := resource.MachineSpec{
+		Platform: linux,
+		Capacity: resource.Vector{MIPS: 1000, RAMMB: 1024, DiskMB: 100, NetMbps: 10},
+		LANID:    "lan0",
+	}
+	tr := usage.NewTrace(usage.OfficeWorker, 7)
+	pol := ncc.Policy{Mode: ncc.ModeIdleOnly, CPUFraction: 1, RAMFraction: 0.9, IdleAfter: 5 * time.Minute}
+	f := newFixture(t, spec, tr, pol, WithUpdatePeriod(time.Minute))
+	f.lrm.Start()
+	// 04:00: node idle.
+	f.clock.Advance(4 * time.Hour)
+	alloc := resource.Vector{MIPS: 500, RAMMB: 64}
+	reply, err := f.lrmC.Reserve(protocol.ReserveRequest{Holder: "a", Amount: alloc, TTL: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reply.Granted {
+		t.Skipf("node busy at 04:00 (burst): %s", reply.Reason)
+	}
+	if err := f.lrmC.Execute(protocol.ExecuteRequest{
+		ReservationID: reply.ReservationID,
+		TaskID:        "t", AppID: "a", Work: 1e12, Alloc: alloc,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Owner returns at 09:00.
+	f.clock.Advance(7 * time.Hour)
+	var evicted bool
+	for _, ev := range f.grm.eventList() {
+		if ev.Kind == protocol.TaskEventEvicted && ev.TaskID == "t" {
+			evicted = true
+			if ev.Progress <= 0 {
+				t.Fatal("evicted with zero progress")
+			}
+		}
+	}
+	if !evicted {
+		t.Fatal("no eviction notification")
+	}
+	if f.lrm.Stats().TasksEvicted != 1 {
+		t.Fatalf("TasksEvicted = %d", f.lrm.Stats().TasksEvicted)
+	}
+}
+
+func TestLUPATrainsOverSimulatedWeeks(t *testing.T) {
+	spec := resource.MachineSpec{
+		Platform: linux,
+		Capacity: resource.Vector{MIPS: 1000, RAMMB: 1024, DiskMB: 100, NetMbps: 10},
+		LANID:    "lan0",
+	}
+	tr := usage.NewTrace(usage.OfficeWorker, 7)
+	f := newFixture(t, spec, tr, ncc.Default(), WithUpdatePeriod(time.Hour))
+	f.lrm.Start()
+	// 9 simulated days: the daily retrain tick has at least 8 full days.
+	f.clock.Advance(9 * 24 * time.Hour)
+	a := f.lrm.Analyzer()
+	if a == nil {
+		t.Fatal("non-dedicated node without analyzer")
+	}
+	if a.Days() < 8 {
+		t.Fatalf("training days = %d", a.Days())
+	}
+	if !a.Pattern().Trained() {
+		t.Fatal("pattern untrained after 9 days")
+	}
+	// Predicted idle flows into status updates at some point.
+	s := f.lrm.Status()
+	_ = s // prediction value depends on instant; presence of pattern suffices
+}
+
+func TestStartIdempotentStopCancels(t *testing.T) {
+	f := newFixture(t, dedicatedSpec(1000), nil, ncc.Generous(),
+		WithUpdatePeriod(30*time.Second))
+	f.lrm.Start()
+	f.lrm.Start() // second Start is a no-op
+	f.clock.Advance(time.Minute)
+	first := f.grm.updateCount()
+	if first != 2 {
+		t.Fatalf("updates after 1 min = %d, want 2 (Start not idempotent?)", first)
+	}
+	f.lrm.Stop()
+	f.clock.Advance(5 * time.Minute)
+	if got := f.grm.updateCount(); got != first {
+		t.Fatalf("updates after Stop = %d, want %d", got, first)
+	}
+}
+
+func TestGridFreeTracksShare(t *testing.T) {
+	// Shared-mode node with a busy owner: GridFree shrinks accordingly.
+	spec := resource.MachineSpec{
+		Platform: linux,
+		Capacity: resource.Vector{MIPS: 1000, RAMMB: 1000, DiskMB: 100, NetMbps: 10},
+		LANID:    "lan0",
+	}
+	tr := usage.NewTrace(usage.AlwaysBusy, 5) // owner ~0.8 CPU
+	pol := ncc.Policy{Mode: ncc.ModeShared, CPUFraction: 0.9, RAMFraction: 0.9, IdleAfter: time.Minute}
+	f := newFixture(t, spec, tr, pol)
+	s := f.lrm.Status()
+	if s.GridFree.MIPS > 350 {
+		t.Fatalf("GridFree.MIPS = %v, want squeezed below ~300", s.GridFree.MIPS)
+	}
+	if !s.OwnerBusy {
+		t.Fatal("OwnerBusy = false for AlwaysBusy trace")
+	}
+}

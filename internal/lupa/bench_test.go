@@ -1,0 +1,57 @@
+package lupa
+
+import (
+	"testing"
+	"time"
+
+	"integrade/internal/sim"
+	"integrade/internal/usage"
+)
+
+func benchDays(n int) [][]float64 {
+	tr := usage.NewTrace(usage.OfficeWorker, 1)
+	start := sim.Epoch
+	days := make([][]float64, n)
+	for d := range days {
+		days[d] = tr.DayVector(start.AddDate(0, 0, d))
+	}
+	return days
+}
+
+func BenchmarkKMeans28Days(b *testing.B) {
+	days := benchDays(28)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := KMeans(days, 3, sim.NewRNG(int64(i)), 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRetrainAutoK(b *testing.B) {
+	days := benchDays(28)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := AutoK(days, 6, sim.NewRNG(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPredictIdle(b *testing.B) {
+	a := NewAnalyzer(1)
+	tr := usage.NewTrace(usage.OfficeWorker, 1)
+	feed(a, tr, sim.Epoch, 14)
+	if err := a.Retrain(); err != nil {
+		b.Fatal(err)
+	}
+	at := sim.Epoch.AddDate(0, 0, 15).Add(19 * time.Hour)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := a.PredictIdle(at); !ok {
+			b.Fatal("untrained")
+		}
+	}
+}

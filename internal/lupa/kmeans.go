@@ -1,0 +1,251 @@
+// Package lupa implements the Local Usage Pattern Analyzer: it collects the
+// node's owner-usage samples in 5-minute intervals, groups them into daily
+// period vectors, applies clustering to extract behavioural categories
+// (the paper's "lunch-breaks, nights, holidays, working periods"), and
+// predicts how long the machine will remain idle — the hint the GRM uses to
+// place applications on nodes unlikely to be reclaimed.
+package lupa
+
+import (
+	"fmt"
+	"math"
+
+	"integrade/internal/sim"
+)
+
+// KMeansResult is the outcome of one clustering run.
+type KMeansResult struct {
+	Centroids  [][]float64
+	Assignment []int // point index -> cluster index
+	Distortion float64
+	Iterations int
+}
+
+// KMeans clusters points into k groups with Lloyd's algorithm, seeded by
+// k-means++ using rng. It runs until assignments stabilize or maxIter passes.
+func KMeans(points [][]float64, k int, rng *sim.RNG, maxIter int) (KMeansResult, error) {
+	if k <= 0 {
+		return KMeansResult{}, fmt.Errorf("lupa: k = %d", k)
+	}
+	if len(points) < k {
+		return KMeansResult{}, fmt.Errorf("lupa: %d points for k = %d", len(points), k)
+	}
+	dim := len(points[0])
+	for i, p := range points {
+		if len(p) != dim {
+			return KMeansResult{}, fmt.Errorf("lupa: point %d has dimension %d, want %d", i, len(p), dim)
+		}
+	}
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+
+	centroids := seedPlusPlus(points, k, rng)
+	assign := make([]int, len(points))
+	for i := range assign {
+		assign[i] = -1
+	}
+
+	iters := 0
+	for ; iters < maxIter; iters++ {
+		changed := false
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c, cent := range centroids {
+				if d := sqDist(p, cent); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && iters > 0 {
+			break
+		}
+		// Recompute centroids; re-seed empty clusters on the farthest point.
+		counts := make([]int, k)
+		sums := make([][]float64, k)
+		for c := range sums {
+			sums[c] = make([]float64, dim)
+		}
+		for i, p := range points {
+			c := assign[i]
+			counts[c]++
+			for d := range p {
+				sums[c][d] += p[d]
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				centroids[c] = append([]float64(nil), farthestPoint(points, centroids)...)
+				continue
+			}
+			for d := range sums[c] {
+				sums[c][d] /= float64(counts[c])
+			}
+			centroids[c] = sums[c]
+		}
+	}
+
+	var distortion float64
+	for i, p := range points {
+		distortion += sqDist(p, centroids[assign[i]])
+	}
+	return KMeansResult{
+		Centroids:  centroids,
+		Assignment: assign,
+		Distortion: distortion,
+		Iterations: iters,
+	}, nil
+}
+
+// AutoK selects k in [1, kmax] by silhouette score (k=1 is chosen only when
+// every k >= 2 scores below a floor, indicating a single behaviour).
+func AutoK(points [][]float64, kmax int, rng *sim.RNG) (KMeansResult, int, error) {
+	if kmax < 1 {
+		return KMeansResult{}, 0, fmt.Errorf("lupa: kmax = %d", kmax)
+	}
+	if kmax > len(points) {
+		kmax = len(points)
+	}
+	best, bestK, bestScore := KMeansResult{}, 0, math.Inf(-1)
+	for k := 2; k <= kmax; k++ {
+		res, err := KMeans(points, k, rng, 100)
+		if err != nil {
+			return KMeansResult{}, 0, err
+		}
+		score := Silhouette(points, res.Assignment, k)
+		if score > bestScore {
+			best, bestK, bestScore = res, k, score
+		}
+	}
+	// Splitting a single unimodal blob yields a silhouette near 0.5, so the
+	// floor sits above that; genuinely distinct behavioural categories
+	// (e.g. workday vs weekend day vectors) score well above it.
+	const singleClusterFloor = 0.55
+	if bestK == 0 || bestScore < singleClusterFloor {
+		res, err := KMeans(points, 1, rng, 100)
+		if err != nil {
+			return KMeansResult{}, 0, err
+		}
+		return res, 1, nil
+	}
+	return best, bestK, nil
+}
+
+// Silhouette computes the mean silhouette coefficient of a clustering, in
+// [-1, 1]; higher means better-separated clusters.
+func Silhouette(points [][]float64, assign []int, k int) float64 {
+	if k < 2 || len(points) < 2 {
+		return 0
+	}
+	// Mean distance from each point to each cluster.
+	var total float64
+	n := 0
+	for i, p := range points {
+		sum := make([]float64, k)
+		cnt := make([]int, k)
+		for j, q := range points {
+			if i == j {
+				continue
+			}
+			sum[assign[j]] += math.Sqrt(sqDist(p, q))
+			cnt[assign[j]]++
+		}
+		own := assign[i]
+		if cnt[own] == 0 {
+			continue // singleton cluster: silhouette undefined, skip
+		}
+		a := sum[own] / float64(cnt[own])
+		b := math.Inf(1)
+		for c := 0; c < k; c++ {
+			if c == own || cnt[c] == 0 {
+				continue
+			}
+			if m := sum[c] / float64(cnt[c]); m < b {
+				b = m
+			}
+		}
+		if math.IsInf(b, 1) {
+			continue
+		}
+		den := math.Max(a, b)
+		if den > 0 {
+			total += (b - a) / den
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / float64(n)
+}
+
+// seedPlusPlus implements k-means++ seeding.
+func seedPlusPlus(points [][]float64, k int, rng *sim.RNG) [][]float64 {
+	centroids := make([][]float64, 0, k)
+	first := points[rng.Intn(len(points))]
+	centroids = append(centroids, append([]float64(nil), first...))
+	d2 := make([]float64, len(points))
+	for len(centroids) < k {
+		var sum float64
+		for i, p := range points {
+			best := math.Inf(1)
+			for _, c := range centroids {
+				if d := sqDist(p, c); d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+			sum += best
+		}
+		var next []float64
+		if sum == 0 {
+			next = points[rng.Intn(len(points))]
+		} else {
+			target := rng.Float64() * sum
+			acc := 0.0
+			next = points[len(points)-1]
+			for i, p := range points {
+				acc += d2[i]
+				if acc >= target {
+					next = p
+					break
+				}
+			}
+		}
+		centroids = append(centroids, append([]float64(nil), next...))
+	}
+	return centroids
+}
+
+// farthestPoint returns the point with maximal distance to its nearest
+// centroid (used to re-seed empty clusters).
+func farthestPoint(points [][]float64, centroids [][]float64) []float64 {
+	bestP := points[0]
+	bestD := -1.0
+	for _, p := range points {
+		near := math.Inf(1)
+		for _, c := range centroids {
+			if d := sqDist(p, c); d < near {
+				near = d
+			}
+		}
+		if near > bestD {
+			bestD = near
+			bestP = p
+		}
+	}
+	return bestP
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

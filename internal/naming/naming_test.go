@@ -1,0 +1,184 @@
+package naming
+
+import (
+	"errors"
+	"testing"
+
+	"integrade/internal/orb"
+)
+
+func ref(addr, key string) orb.ObjectRef {
+	return orb.ObjectRef{
+		Endpoint: orb.Endpoint{Net: orb.NetLoopback, Addr: addr},
+		Key:      key,
+	}
+}
+
+func TestServiceBindResolve(t *testing.T) {
+	s := NewService()
+	r := ref("srv", "grm")
+	if err := s.Bind("clusters/ime/grm", r); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Resolve("clusters/ime/grm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != r {
+		t.Fatalf("Resolve = %v", got)
+	}
+	if err := s.Bind("clusters/ime/grm", r); !errors.Is(err, ErrAlreadyBound) {
+		t.Fatalf("duplicate Bind err = %v", err)
+	}
+	other := ref("srv2", "grm")
+	if err := s.Rebind("clusters/ime/grm", other); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = s.Resolve("clusters/ime/grm")
+	if got != other {
+		t.Fatalf("after Rebind = %v", got)
+	}
+}
+
+func TestServiceResolveUnknown(t *testing.T) {
+	s := NewService()
+	if _, err := s.Resolve("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestServiceUnbind(t *testing.T) {
+	s := NewService()
+	if err := s.Bind("a", ref("x", "y")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Unbind("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Unbind("a"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double Unbind err = %v", err)
+	}
+}
+
+func TestServiceBadNames(t *testing.T) {
+	s := NewService()
+	for _, name := range []string{"", "/", "a//b", "a/", "/a"} {
+		if err := s.Bind(name, ref("x", "y")); !errors.Is(err, ErrBadName) {
+			t.Fatalf("Bind(%q) err = %v, want ErrBadName", name, err)
+		}
+		if err := s.Rebind(name, ref("x", "y")); !errors.Is(err, ErrBadName) {
+			t.Fatalf("Rebind(%q) err = %v, want ErrBadName", name, err)
+		}
+	}
+}
+
+func TestServiceListPrefix(t *testing.T) {
+	s := NewService()
+	names := []string{
+		"clusters/ime/grm",
+		"clusters/ime/gupa",
+		"clusters/poli/grm",
+		"root",
+	}
+	for _, n := range names {
+		if err := s.Bind(n, ref("x", n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := s.List("clusters/ime")
+	if len(got) != 2 || got[0] != "clusters/ime/grm" || got[1] != "clusters/ime/gupa" {
+		t.Fatalf("List(clusters/ime) = %v", got)
+	}
+	if got := s.List(""); len(got) != 4 {
+		t.Fatalf("List(all) = %v", got)
+	}
+	// Prefix must match whole segments: "clusters/im" matches nothing.
+	if got := s.List("clusters/im"); len(got) != 0 {
+		t.Fatalf("List(clusters/im) = %v", got)
+	}
+	if got := s.List("root"); len(got) != 1 {
+		t.Fatalf("List(root) = %v", got)
+	}
+}
+
+func TestClientAgainstServantLoopback(t *testing.T) {
+	o := orb.New()
+	svc := NewService()
+	adapter := orb.NewAdapter()
+	if err := adapter.Register(ObjectKey, Servant(svc)); err != nil {
+		t.Fatal(err)
+	}
+	ep, err := o.BindLoopback("manager", adapter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := NewClient(o, orb.ObjectRef{Endpoint: ep, Key: ObjectKey})
+
+	target := ref("node-7", "lrm")
+	if err := client.Bind("lrms/node-7", target); err != nil {
+		t.Fatal(err)
+	}
+	got, err := client.Resolve("lrms/node-7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != target {
+		t.Fatalf("Resolve = %v", got)
+	}
+	if err := client.Bind("lrms/node-7", target); err == nil {
+		t.Fatal("duplicate bind over wire succeeded")
+	}
+	if err := client.Rebind("lrms/node-7", ref("node-7b", "lrm")); err != nil {
+		t.Fatal(err)
+	}
+	names, err := client.List("lrms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "lrms/node-7" {
+		t.Fatalf("List = %v", names)
+	}
+	if err := client.Unbind("lrms/node-7"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Resolve("lrms/node-7"); err == nil {
+		t.Fatal("Resolve after Unbind succeeded")
+	}
+}
+
+func TestClientAgainstServantTCP(t *testing.T) {
+	o := orb.New()
+	defer o.Close()
+	svc := NewService()
+	adapter := orb.NewAdapter()
+	if err := adapter.Register(ObjectKey, Servant(svc)); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := o.ListenTCP("127.0.0.1:0", adapter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	client := NewClient(o, srv.Ref(ObjectKey))
+	target := orb.ObjectRef{Endpoint: srv.Endpoint(), Key: "self"}
+	if err := client.Bind("services/self", target); err != nil {
+		t.Fatal(err)
+	}
+	got, err := client.Resolve("services/self")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != target {
+		t.Fatalf("Resolve over TCP = %v", got)
+	}
+}
+
+func TestValidateName(t *testing.T) {
+	if err := ValidateName("a/b/c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateName(""); err == nil {
+		t.Fatal("empty name accepted")
+	}
+}

@@ -1,0 +1,167 @@
+// Package ncc implements the Node Control Center: the owner-facing policy
+// that governs when and how much of a machine the grid may use.
+//
+// Per the paper, owners can set "periods in which they do not want their
+// resources to be shared, the portion of resources that can be used by grid
+// applications (e.g., 30% of the CPU and 50% of its physical memory), or
+// definitions as to when to consider their machine idle", and the system
+// "must provide sensible default values ... to protect providers from
+// degradation in the quality of service".
+package ncc
+
+import (
+	"fmt"
+	"time"
+
+	"integrade/internal/usage"
+)
+
+// Mode selects how grid load coexists with the owner.
+type Mode int
+
+// Sharing modes.
+const (
+	// ModeIdleOnly runs grid tasks only while the machine is idle; an owner
+	// return suspends/evicts grid work (Condor-style harvesting).
+	ModeIdleOnly Mode = iota + 1
+	// ModeShared lets grid tasks use the policy's resource fractions even
+	// while the owner is active — the InteGrade feature SETI@home lacks
+	// ("the impossibility of using resources of a partially idle node").
+	ModeShared
+	// ModeGreedy takes the policy's CPU fraction regardless of owner
+	// activity. It exists only as the no-QoS-protection baseline in the
+	// owner-slowdown experiment; real deployments never use it.
+	ModeGreedy
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeIdleOnly:
+		return "idle-only"
+	case ModeShared:
+		return "shared"
+	case ModeGreedy:
+		return "greedy"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Blackout is a weekly recurring window during which the owner forbids all
+// sharing.
+type Blackout struct {
+	Weekday   time.Weekday
+	StartHour float64 // 0..24
+	EndHour   float64 // 0..24, > StartHour (no midnight wrap; use two)
+}
+
+func (b Blackout) contains(t time.Time) bool {
+	if t.Weekday() != b.Weekday {
+		return false
+	}
+	hour := float64(t.Hour()) + float64(t.Minute())/60
+	return hour >= b.StartHour && hour < b.EndHour
+}
+
+// Policy is one owner's sharing contract.
+type Policy struct {
+	Mode Mode
+	// CPUFraction and RAMFraction cap the share of the machine grid tasks
+	// may use (of total capacity), in (0,1].
+	CPUFraction float64
+	RAMFraction float64
+	// IdleAfter is how long the owner must be inactive before the machine
+	// counts as idle ("definitions as to when to consider their machine
+	// idle").
+	IdleAfter time.Duration
+	// Blackouts are windows with no sharing at all.
+	Blackouts []Blackout
+}
+
+// Default returns the conservative defaults the paper calls for: idle-only
+// harvesting, half the machine at most, idle after 5 minutes of owner
+// inactivity.
+func Default() Policy {
+	return Policy{
+		Mode:        ModeIdleOnly,
+		CPUFraction: 0.5,
+		RAMFraction: 0.5,
+		IdleAfter:   5 * time.Minute,
+	}
+}
+
+// Generous returns a donate-everything policy for dedicated-leaning owners.
+func Generous() Policy {
+	return Policy{
+		Mode:        ModeShared,
+		CPUFraction: 1.0,
+		RAMFraction: 0.9,
+		IdleAfter:   time.Minute,
+	}
+}
+
+// Validate reports descriptive errors for out-of-range parameters.
+func (p Policy) Validate() error {
+	if p.Mode != ModeIdleOnly && p.Mode != ModeShared && p.Mode != ModeGreedy {
+		return fmt.Errorf("ncc: invalid mode %d", p.Mode)
+	}
+	if p.CPUFraction <= 0 || p.CPUFraction > 1 {
+		return fmt.Errorf("ncc: CPU fraction %v out of (0,1]", p.CPUFraction)
+	}
+	if p.RAMFraction <= 0 || p.RAMFraction > 1 {
+		return fmt.Errorf("ncc: RAM fraction %v out of (0,1]", p.RAMFraction)
+	}
+	if p.IdleAfter < 0 {
+		return fmt.Errorf("ncc: negative IdleAfter %v", p.IdleAfter)
+	}
+	for _, b := range p.Blackouts {
+		if b.StartHour < 0 || b.EndHour > 24 || b.StartHour >= b.EndHour {
+			return fmt.Errorf("ncc: invalid blackout %+v", b)
+		}
+	}
+	return nil
+}
+
+// Share is the policy's verdict for one instant.
+type Share struct {
+	// Allowed is false during blackouts (and, in idle-only mode, while the
+	// owner is active or insufficiently idle).
+	Allowed bool
+	// CPUFrac and RAMFrac are the machine fractions the grid may use now.
+	CPUFrac float64
+	RAMFrac float64
+	// Evict signals that running grid tasks must stop immediately (owner
+	// reclaim in idle-only mode, or a blackout starting).
+	Evict bool
+}
+
+// Evaluate computes the share at time t given the owner's instantaneous
+// activity and the duration the owner has been inactive.
+func (p Policy) Evaluate(t time.Time, owner usage.Activity, inactiveFor time.Duration) Share {
+	for _, b := range p.Blackouts {
+		if b.contains(t) {
+			return Share{Evict: true}
+		}
+	}
+	switch p.Mode {
+	case ModeGreedy:
+		return Share{Allowed: true, CPUFrac: p.CPUFraction, RAMFrac: p.RAMFraction}
+	case ModeShared:
+		// Grid gets min(policy cap, what the owner leaves free).
+		cpu := min(p.CPUFraction, 1-owner.CPU)
+		ram := min(p.RAMFraction, 1-owner.RAM)
+		if cpu <= 0 {
+			return Share{Allowed: false}
+		}
+		return Share{Allowed: true, CPUFrac: cpu, RAMFrac: max(ram, 0)}
+	default: // ModeIdleOnly
+		if owner.Busy() {
+			return Share{Evict: true}
+		}
+		if inactiveFor < p.IdleAfter {
+			return Share{Allowed: false}
+		}
+		return Share{Allowed: true, CPUFrac: p.CPUFraction, RAMFrac: p.RAMFraction}
+	}
+}

@@ -1,0 +1,129 @@
+package ncc
+
+import (
+	"testing"
+	"time"
+
+	"integrade/internal/usage"
+)
+
+var monday10 = time.Date(2026, 1, 5, 10, 0, 0, 0, time.UTC)
+
+func TestDefaultIsConservativeAndValid(t *testing.T) {
+	p := Default()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Mode != ModeIdleOnly {
+		t.Fatal("default mode is not idle-only")
+	}
+	if p.CPUFraction > 0.5 || p.RAMFraction > 0.5 {
+		t.Fatal("default fractions too aggressive")
+	}
+	if err := Generous().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadPolicies(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Policy)
+	}{
+		{"zero mode", func(p *Policy) { p.Mode = 0 }},
+		{"cpu zero", func(p *Policy) { p.CPUFraction = 0 }},
+		{"cpu above one", func(p *Policy) { p.CPUFraction = 1.5 }},
+		{"ram zero", func(p *Policy) { p.RAMFraction = 0 }},
+		{"negative idle", func(p *Policy) { p.IdleAfter = -time.Second }},
+		{"inverted blackout", func(p *Policy) {
+			p.Blackouts = []Blackout{{Weekday: time.Monday, StartHour: 10, EndHour: 9}}
+		}},
+		{"blackout beyond 24", func(p *Policy) {
+			p.Blackouts = []Blackout{{Weekday: time.Monday, StartHour: 10, EndHour: 25}}
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := Default()
+			tt.mutate(&p)
+			if err := p.Validate(); err == nil {
+				t.Fatal("invalid policy accepted")
+			}
+		})
+	}
+}
+
+func TestIdleOnlyEvictsOnOwnerReturn(t *testing.T) {
+	p := Default()
+	busy := usage.Activity{CPU: 0.5}
+	s := p.Evaluate(monday10, busy, time.Hour)
+	if !s.Evict || s.Allowed {
+		t.Fatalf("busy owner: %+v, want eviction", s)
+	}
+}
+
+func TestIdleOnlyRequiresIdleAfter(t *testing.T) {
+	p := Default() // IdleAfter = 5m
+	quiet := usage.Activity{CPU: 0.02}
+	s := p.Evaluate(monday10, quiet, 2*time.Minute)
+	if s.Allowed || s.Evict {
+		t.Fatalf("recently-active owner: %+v, want not allowed, no evict", s)
+	}
+	s = p.Evaluate(monday10, quiet, 10*time.Minute)
+	if !s.Allowed {
+		t.Fatalf("idle machine not allowed: %+v", s)
+	}
+	if s.CPUFrac != p.CPUFraction || s.RAMFrac != p.RAMFraction {
+		t.Fatalf("idle share = %+v, want policy fractions", s)
+	}
+}
+
+func TestSharedModeTracksOwnerLoad(t *testing.T) {
+	p := Policy{Mode: ModeShared, CPUFraction: 0.5, RAMFraction: 0.5}
+	// Owner uses 30% CPU: grid may use min(0.5, 0.7) = 0.5.
+	s := p.Evaluate(monday10, usage.Activity{CPU: 0.3, RAM: 0.2}, 0)
+	if !s.Allowed || s.CPUFrac != 0.5 {
+		t.Fatalf("share = %+v", s)
+	}
+	// Owner uses 80% CPU: grid squeezed to 0.2.
+	s = p.Evaluate(monday10, usage.Activity{CPU: 0.8, RAM: 0.9}, 0)
+	if !s.Allowed || s.CPUFrac < 0.19 || s.CPUFrac > 0.21 {
+		t.Fatalf("squeezed share = %+v", s)
+	}
+	if s.RAMFrac < 0.09 || s.RAMFrac > 0.11 {
+		t.Fatalf("squeezed RAM = %+v", s)
+	}
+	// Owner saturates the CPU: not allowed (but no eviction in shared mode).
+	s = p.Evaluate(monday10, usage.Activity{CPU: 1.0, RAM: 0.5}, 0)
+	if s.Allowed || s.Evict {
+		t.Fatalf("saturated: %+v", s)
+	}
+}
+
+func TestBlackoutAlwaysWins(t *testing.T) {
+	p := Generous()
+	p.Blackouts = []Blackout{{Weekday: time.Monday, StartHour: 9, EndHour: 12}}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := p.Evaluate(monday10, usage.Activity{}, time.Hour)
+	if s.Allowed || !s.Evict {
+		t.Fatalf("blackout: %+v, want eviction", s)
+	}
+	// Outside the window sharing resumes.
+	s = p.Evaluate(monday10.Add(3*time.Hour), usage.Activity{}, time.Hour)
+	if !s.Allowed {
+		t.Fatalf("after blackout: %+v", s)
+	}
+	// Other weekday unaffected.
+	s = p.Evaluate(monday10.AddDate(0, 0, 1), usage.Activity{}, time.Hour)
+	if !s.Allowed {
+		t.Fatalf("different weekday: %+v", s)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeIdleOnly.String() == "" || ModeShared.String() == "" || Mode(9).String() == "" {
+		t.Fatal("empty Mode string")
+	}
+}

@@ -1,0 +1,138 @@
+package orb
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Servant handles invocations on one object. Implementations decode the
+// request body from req, perform the operation and write the reply with the
+// returned encoder. Returning an error produces an error reply; returning a
+// *RemoteError preserves its code, any other error is wrapped as
+// CodeApplication.
+type Servant interface {
+	Dispatch(op string, req *Decoder) (*Encoder, error)
+}
+
+// ServantFunc adapts a function to the Servant interface.
+type ServantFunc func(op string, req *Decoder) (*Encoder, error)
+
+// Dispatch implements Servant.
+func (f ServantFunc) Dispatch(op string, req *Decoder) (*Encoder, error) {
+	return f(op, req)
+}
+
+// OpMux is a Servant that routes operations by name, the common way to
+// implement multi-operation interfaces.
+type OpMux struct {
+	mu  sync.RWMutex
+	ops map[string]ServantFunc
+}
+
+// NewOpMux returns an empty operation multiplexer.
+func NewOpMux() *OpMux {
+	return &OpMux{ops: make(map[string]ServantFunc)}
+}
+
+// Handle registers fn for the named operation, replacing any previous
+// handler.
+func (m *OpMux) Handle(op string, fn ServantFunc) *OpMux {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ops[op] = fn
+	return m
+}
+
+// Dispatch implements Servant.
+func (m *OpMux) Dispatch(op string, req *Decoder) (*Encoder, error) {
+	m.mu.RLock()
+	fn, ok := m.ops[op]
+	m.mu.RUnlock()
+	if !ok {
+		return nil, Errorf(CodeBadOperation, "no such operation %q", op)
+	}
+	return fn(op, req)
+}
+
+// Adapter is the object adapter: it owns the key → servant table of one ORB
+// server. It is safe for concurrent use.
+type Adapter struct {
+	mu       sync.RWMutex
+	servants map[string]Servant
+}
+
+// NewAdapter returns an empty Adapter.
+func NewAdapter() *Adapter {
+	return &Adapter{servants: make(map[string]Servant)}
+}
+
+// Register binds a servant to an object key. Registering an existing key
+// returns an error; use Deactivate first to replace a servant.
+func (a *Adapter) Register(key string, s Servant) error {
+	if key == "" {
+		return fmt.Errorf("orb: empty object key")
+	}
+	if s == nil {
+		return fmt.Errorf("orb: nil servant for key %q", key)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, exists := a.servants[key]; exists {
+		return fmt.Errorf("orb: object key %q already registered", key)
+	}
+	a.servants[key] = s
+	return nil
+}
+
+// Deactivate removes the servant bound to key, if any. It reports whether a
+// servant was removed.
+func (a *Adapter) Deactivate(key string) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, ok := a.servants[key]; !ok {
+		return false
+	}
+	delete(a.servants, key)
+	return true
+}
+
+// Keys returns the registered object keys in sorted order.
+func (a *Adapter) Keys() []string {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	keys := make([]string, 0, len(a.servants))
+	for k := range a.servants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// dispatch routes one request to its servant and normalizes errors into
+// RemoteErrors. It recovers servant panics so a buggy servant cannot take
+// down the server.
+func (a *Adapter) dispatch(key, op string, body []byte) (reply []byte, err error) {
+	a.mu.RLock()
+	s, ok := a.servants[key]
+	a.mu.RUnlock()
+	if !ok {
+		return nil, Errorf(CodeObjectNotExist, "no object %q", key)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = Errorf(CodeApplication, "servant panic in %s.%s: %v", key, op, r)
+		}
+	}()
+	enc, err := s.Dispatch(op, NewDecoder(body))
+	if err != nil {
+		if re, ok := err.(*RemoteError); ok {
+			return nil, re
+		}
+		return nil, &RemoteError{Code: CodeApplication, Msg: err.Error()}
+	}
+	if enc == nil {
+		return nil, nil
+	}
+	return enc.Bytes(), nil
+}

@@ -1,0 +1,122 @@
+package orb
+
+import (
+	"testing"
+)
+
+func benchEchoAdapter(b *testing.B) *Adapter {
+	b.Helper()
+	a := NewAdapter()
+	mux := NewOpMux().Handle("echo", func(_ string, req *Decoder) (*Encoder, error) {
+		data := req.Bytes()
+		if err := req.Err(); err != nil {
+			return nil, err
+		}
+		var e Encoder
+		e.PutBytes(data)
+		return &e, nil
+	})
+	if err := a.Register("echo", mux); err != nil {
+		b.Fatal(err)
+	}
+	return a
+}
+
+func BenchmarkLoopbackInvoke(b *testing.B) {
+	o := New()
+	ep, err := o.BindLoopback("bench", benchEchoAdapter(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ref := ObjectRef{Endpoint: ep, Key: "echo"}
+	var e Encoder
+	e.PutBytes(make([]byte, 256))
+	arg := e.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := o.Invoke(ref, "echo", arg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTCPInvoke(b *testing.B) {
+	o := New()
+	defer o.Close()
+	srv, err := o.ListenTCP("127.0.0.1:0", benchEchoAdapter(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	ref := srv.Ref("echo")
+	var e Encoder
+	e.PutBytes(make([]byte, 256))
+	arg := e.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := o.Invoke(ref, "echo", arg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTCPInvokeParallel(b *testing.B) {
+	o := New()
+	defer o.Close()
+	srv, err := o.ListenTCP("127.0.0.1:0", benchEchoAdapter(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	ref := srv.Ref("echo")
+	var e Encoder
+	e.PutBytes(make([]byte, 256))
+	arg := e.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := o.Invoke(ref, "echo", arg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkWireEncode(b *testing.B) {
+	var e Encoder
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Reset()
+		e.PutString("node-12")
+		e.PutF64(1234.5)
+		e.PutF64(512)
+		e.PutBool(true)
+		e.PutI64(123456789)
+	}
+}
+
+func BenchmarkWireDecode(b *testing.B) {
+	var e Encoder
+	e.PutString("node-12")
+	e.PutF64(1234.5)
+	e.PutF64(512)
+	e.PutBool(true)
+	e.PutI64(123456789)
+	buf := e.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := NewDecoder(buf)
+		_ = d.String()
+		_ = d.F64()
+		_ = d.F64()
+		_ = d.Bool()
+		_ = d.I64()
+		if d.Err() != nil {
+			b.Fatal(d.Err())
+		}
+	}
+}

@@ -1,0 +1,247 @@
+package orb
+
+import (
+	"bufio"
+	"net"
+	"sync"
+	"time"
+)
+
+// Invoker sends a request to an object and waits for the reply. The ORB
+// facade, the Loopback, and test fakes all implement it.
+type Invoker interface {
+	Invoke(ref ObjectRef, op string, arg []byte) ([]byte, error)
+}
+
+// Client invokes objects on remote TCP ORB servers. It maintains one
+// multiplexed connection per endpoint, created lazily and re-dialed after
+// failures. It is safe for concurrent use.
+type Client struct {
+	dialTimeout time.Duration
+	callTimeout time.Duration
+
+	mu    sync.Mutex
+	conns map[string]*clientConn
+}
+
+var _ Invoker = (*Client)(nil)
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithDialTimeout sets the TCP dial timeout (default 5s).
+func WithDialTimeout(d time.Duration) ClientOption {
+	return func(c *Client) { c.dialTimeout = d }
+}
+
+// WithCallTimeout sets the per-invocation timeout (default 30s).
+func WithCallTimeout(d time.Duration) ClientOption {
+	return func(c *Client) { c.callTimeout = d }
+}
+
+// NewClient returns a Client ready to invoke.
+func NewClient(opts ...ClientOption) *Client {
+	c := &Client{
+		dialTimeout: 5 * time.Second,
+		callTimeout: 30 * time.Second,
+		conns:       make(map[string]*clientConn),
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// Invoke implements Invoker for tcp references.
+func (c *Client) Invoke(ref ObjectRef, op string, arg []byte) ([]byte, error) {
+	if ref.Endpoint.Net != NetTCP {
+		return nil, Errorf(CodeTransport, "client cannot reach %s endpoint %s", ref.Endpoint.Net, ref.Endpoint)
+	}
+	// One reconnect attempt on a stale pooled connection.
+	for attempt := 0; ; attempt++ {
+		cc, fresh, err := c.conn(ref.Endpoint.Addr)
+		if err != nil {
+			return nil, Errorf(CodeTransport, "dial %s: %v", ref.Endpoint.Addr, err)
+		}
+		reply, err := cc.call(ref.Key, op, arg, c.callTimeout)
+		if err != nil && IsCode(err, CodeTransport) && !fresh && attempt == 0 {
+			c.drop(ref.Endpoint.Addr, cc)
+			continue
+		}
+		return reply, err
+	}
+}
+
+// Close tears down all pooled connections.
+func (c *Client) Close() {
+	c.mu.Lock()
+	conns := c.conns
+	c.conns = make(map[string]*clientConn)
+	c.mu.Unlock()
+	for _, cc := range conns {
+		cc.close()
+	}
+}
+
+// conn returns the pooled connection for addr, dialing if absent. fresh
+// reports whether the connection was created by this call.
+func (c *Client) conn(addr string) (*clientConn, bool, error) {
+	c.mu.Lock()
+	if cc, ok := c.conns[addr]; ok && !cc.isDead() {
+		c.mu.Unlock()
+		return cc, false, nil
+	}
+	c.mu.Unlock()
+
+	netConn, err := net.DialTimeout("tcp", addr, c.dialTimeout)
+	if err != nil {
+		return nil, false, err
+	}
+	cc := newClientConn(netConn)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if prev, ok := c.conns[addr]; ok && !prev.isDead() {
+		// Lost the race; use the winner.
+		go cc.close()
+		return prev, false, nil
+	}
+	c.conns[addr] = cc
+	return cc, true, nil
+}
+
+func (c *Client) drop(addr string, cc *clientConn) {
+	c.mu.Lock()
+	if c.conns[addr] == cc {
+		delete(c.conns, addr)
+	}
+	c.mu.Unlock()
+	cc.close()
+}
+
+// clientConn is one multiplexed connection: concurrent calls are assigned
+// request IDs; a reader goroutine demultiplexes replies to waiting callers.
+type clientConn struct {
+	conn   net.Conn
+	writer *bufio.Writer
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan *frame
+	dead    bool
+	done    chan struct{}
+}
+
+func newClientConn(conn net.Conn) *clientConn {
+	cc := &clientConn{
+		conn:    conn,
+		writer:  bufio.NewWriter(conn),
+		pending: make(map[uint64]chan *frame),
+		done:    make(chan struct{}),
+	}
+	go cc.readLoop()
+	return cc
+}
+
+func (cc *clientConn) isDead() bool {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.dead
+}
+
+func (cc *clientConn) close() {
+	cc.failAll()
+	<-cc.done
+}
+
+func (cc *clientConn) call(key, op string, arg []byte, timeout time.Duration) ([]byte, error) {
+	ch := make(chan *frame, 1)
+
+	cc.mu.Lock()
+	if cc.dead {
+		cc.mu.Unlock()
+		return nil, Errorf(CodeTransport, "connection closed")
+	}
+	cc.nextID++
+	id := cc.nextID
+	cc.pending[id] = ch
+	err := writeFrame(cc.writer, &frame{kind: msgRequest, reqID: id, key: key, op: op, body: arg})
+	if err == nil {
+		err = cc.writer.Flush()
+	}
+	cc.mu.Unlock()
+
+	if err != nil {
+		cc.forget(id)
+		cc.failAll()
+		return nil, Errorf(CodeTransport, "send: %v", err)
+	}
+
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case f := <-ch:
+		if f == nil {
+			return nil, Errorf(CodeTransport, "connection lost awaiting reply")
+		}
+		if f.kind == msgError {
+			return nil, &RemoteError{Code: f.code, Msg: f.msg}
+		}
+		return f.body, nil
+	case <-timer.C:
+		cc.forget(id)
+		return nil, Errorf(CodeTimeout, "%s.%s timed out after %v", key, op, timeout)
+	}
+}
+
+func (cc *clientConn) forget(id uint64) {
+	cc.mu.Lock()
+	delete(cc.pending, id)
+	cc.mu.Unlock()
+}
+
+func (cc *clientConn) readLoop() {
+	defer close(cc.done)
+	reader := bufio.NewReader(cc.conn)
+	for {
+		f, err := readFrame(reader)
+		if err != nil {
+			cc.failAllLocked()
+			return
+		}
+		cc.mu.Lock()
+		ch, ok := cc.pending[f.reqID]
+		if ok {
+			delete(cc.pending, f.reqID)
+		}
+		cc.mu.Unlock()
+		if ok {
+			ch <- f
+		}
+	}
+}
+
+// failAll marks the connection dead, closes it and fails every pending call.
+func (cc *clientConn) failAll() {
+	cc.mu.Lock()
+	alreadyDead := cc.dead
+	cc.dead = true
+	cc.mu.Unlock()
+	if !alreadyDead {
+		_ = cc.conn.Close()
+	}
+	// The read loop exits on conn close and drains pending via
+	// failAllLocked; nothing further to do here.
+}
+
+func (cc *clientConn) failAllLocked() {
+	cc.mu.Lock()
+	cc.dead = true
+	pending := cc.pending
+	cc.pending = make(map[uint64]chan *frame)
+	cc.mu.Unlock()
+	_ = cc.conn.Close()
+	for _, ch := range pending {
+		ch <- nil
+	}
+}

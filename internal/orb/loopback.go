@@ -1,0 +1,85 @@
+package orb
+
+import (
+	"sync"
+)
+
+// Loopback is the in-process transport. Each "server" is an Adapter bound to
+// a registry name; invocations are direct function calls, which makes
+// thousand-node simulations deterministic and fast.
+//
+// A FaultPolicy may be installed to inject message loss and delivery errors
+// for failure-injection tests, emulating an unreliable network.
+type Loopback struct {
+	mu       sync.RWMutex
+	adapters map[string]*Adapter
+	fault    FaultPolicy
+}
+
+var _ Invoker = (*Loopback)(nil)
+
+// FaultPolicy decides the fate of one in-process invocation. Return nil to
+// deliver normally; return an error (typically CodeTransport) to simulate a
+// lost or failed message.
+type FaultPolicy func(target Endpoint, key, op string) error
+
+// NewLoopback returns an empty in-process transport.
+func NewLoopback() *Loopback {
+	return &Loopback{adapters: make(map[string]*Adapter)}
+}
+
+// SetFaultPolicy installs (or clears, with nil) the fault-injection hook.
+func (l *Loopback) SetFaultPolicy(p FaultPolicy) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.fault = p
+}
+
+// Bind registers adapter under name and returns its endpoint.
+func (l *Loopback) Bind(name string, adapter *Adapter) (Endpoint, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, exists := l.adapters[name]; exists {
+		return Endpoint{}, Errorf(CodeTransport, "loopback name %q already bound", name)
+	}
+	l.adapters[name] = adapter
+	return Endpoint{Net: NetLoopback, Addr: name}, nil
+}
+
+// Unbind removes the named adapter. It reports whether it existed.
+func (l *Loopback) Unbind(name string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.adapters[name]; !ok {
+		return false
+	}
+	delete(l.adapters, name)
+	return true
+}
+
+// Invoke implements Invoker for inproc references.
+func (l *Loopback) Invoke(ref ObjectRef, op string, arg []byte) ([]byte, error) {
+	if ref.Endpoint.Net != NetLoopback {
+		return nil, Errorf(CodeTransport, "loopback cannot reach %s endpoint", ref.Endpoint.Net)
+	}
+	l.mu.RLock()
+	adapter, ok := l.adapters[ref.Endpoint.Addr]
+	fault := l.fault
+	l.mu.RUnlock()
+	if fault != nil {
+		if err := fault(ref.Endpoint, ref.Key, op); err != nil {
+			return nil, err
+		}
+	}
+	if !ok {
+		return nil, Errorf(CodeTransport, "no loopback server %q", ref.Endpoint.Addr)
+	}
+	// Copy the argument: a real transport would serialize, so servants must
+	// not be able to alias the caller's buffer.
+	var argCopy []byte
+	if arg != nil {
+		argCopy = make([]byte, len(arg))
+		copy(argCopy, arg)
+	}
+	return adapter.dispatch(ref.Key, op, argCopy)
+}

@@ -1,0 +1,107 @@
+package orb
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Protocol constants for the framed request/reply wire protocol.
+const (
+	protoMagic   uint32 = 0x494F5242 // "IORB"
+	protoVersion uint8  = 1
+
+	msgRequest uint8 = 1
+	msgReply   uint8 = 2
+	msgError   uint8 = 3
+
+	// maxFrameLen bounds a whole frame to guard against corruption.
+	maxFrameLen = 64 << 20
+)
+
+// frame is one protocol message.
+type frame struct {
+	kind  uint8
+	reqID uint64
+	// request fields
+	key string
+	op  string
+	// error fields
+	code ErrorCode
+	msg  string
+	// request/reply payload
+	body []byte
+}
+
+// writeFrame serializes f with a length prefix onto w.
+//
+// Layout: u32 totalLen | u32 magic | u8 version | u8 kind | u64 reqID |
+// kind-specific fields | bytes body.
+func writeFrame(w io.Writer, f *frame) error {
+	var e Encoder
+	e.PutU32(protoMagic)
+	e.PutU8(protoVersion)
+	e.PutU8(f.kind)
+	e.PutU64(f.reqID)
+	switch f.kind {
+	case msgRequest:
+		e.PutString(f.key)
+		e.PutString(f.op)
+	case msgError:
+		e.PutU32(uint32(f.code))
+		e.PutString(f.msg)
+	}
+	e.PutBytes(f.body)
+
+	var lenbuf [4]byte
+	binary.BigEndian.PutUint32(lenbuf[:], uint32(e.Len()))
+	if _, err := w.Write(lenbuf[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(e.Bytes())
+	return err
+}
+
+// readFrame reads one length-prefixed frame from r.
+func readFrame(r *bufio.Reader) (*frame, error) {
+	var lenbuf [4]byte
+	if _, err := io.ReadFull(r, lenbuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(lenbuf[:])
+	if n > maxFrameLen {
+		return nil, fmt.Errorf("orb: frame length %d exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	d := NewDecoder(buf)
+	if magic := d.U32(); magic != protoMagic {
+		return nil, fmt.Errorf("orb: bad magic %#x", magic)
+	}
+	if v := d.U8(); v != protoVersion {
+		return nil, fmt.Errorf("orb: unsupported protocol version %d", v)
+	}
+	f := &frame{
+		kind:  d.U8(),
+		reqID: d.U64(),
+	}
+	switch f.kind {
+	case msgRequest:
+		f.key = d.String()
+		f.op = d.String()
+	case msgReply:
+	case msgError:
+		f.code = ErrorCode(d.U32())
+		f.msg = d.String()
+	default:
+		return nil, fmt.Errorf("orb: unknown message kind %d", f.kind)
+	}
+	f.body = d.Bytes()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}

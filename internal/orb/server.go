@@ -1,0 +1,158 @@
+package orb
+
+import (
+	"bufio"
+	"errors"
+	"log/slog"
+	"net"
+	"sync"
+)
+
+// Server accepts ORB protocol connections on a TCP listener and dispatches
+// requests to an Adapter. Each request runs in its own goroutine so slow
+// servants do not head-of-line-block a connection.
+type Server struct {
+	adapter  *Adapter
+	listener net.Listener
+	log      *slog.Logger
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer returns a Server dispatching into adapter on ln. Pass a nil
+// logger to discard logs. Call Start to begin accepting.
+func NewServer(ln net.Listener, adapter *Adapter, log *slog.Logger) *Server {
+	if log == nil {
+		log = discardLogger()
+	}
+	return &Server{
+		adapter:  adapter,
+		listener: ln,
+		log:      log,
+		conns:    make(map[net.Conn]struct{}),
+	}
+}
+
+// Endpoint returns the server's reachable endpoint.
+func (s *Server) Endpoint() Endpoint {
+	return Endpoint{Net: NetTCP, Addr: s.listener.Addr().String()}
+}
+
+// Ref returns a reference to the object with the given key on this server.
+func (s *Server) Ref(key string) ObjectRef {
+	return ObjectRef{Endpoint: s.Endpoint(), Key: key}
+}
+
+// Start begins the accept loop in a background goroutine.
+func (s *Server) Start() {
+	s.wg.Add(1)
+	go s.acceptLoop()
+}
+
+// Close stops accepting, closes every live connection and waits for all
+// server goroutines to exit.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	err := s.listener.Close()
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			if !s.isClosed() {
+				s.log.Warn("orb server accept", "err", err)
+			}
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+
+	var (
+		writeMu sync.Mutex
+		reqWG   sync.WaitGroup
+	)
+	reader := bufio.NewReader(conn)
+	writer := bufio.NewWriter(conn)
+
+	send := func(f *frame) {
+		writeMu.Lock()
+		defer writeMu.Unlock()
+		if err := writeFrame(writer, f); err != nil {
+			return
+		}
+		_ = writer.Flush()
+	}
+
+	for {
+		f, err := readFrame(reader)
+		if err != nil {
+			if !errors.Is(err, net.ErrClosed) && !s.isClosed() {
+				s.log.Debug("orb server connection ended", "err", err)
+			}
+			break
+		}
+		if f.kind != msgRequest {
+			s.log.Warn("orb server received non-request frame", "kind", f.kind)
+			continue
+		}
+		reqWG.Add(1)
+		go func(f *frame) {
+			defer reqWG.Done()
+			reply, err := s.adapter.dispatch(f.key, f.op, f.body)
+			if err != nil {
+				re := &RemoteError{Code: CodeApplication, Msg: err.Error()}
+				errors.As(err, &re)
+				send(&frame{kind: msgError, reqID: f.reqID, code: re.Code, msg: re.Msg})
+				return
+			}
+			send(&frame{kind: msgReply, reqID: f.reqID, body: reply})
+		}(f)
+	}
+	reqWG.Wait()
+}
+
+func discardLogger() *slog.Logger {
+	return slog.New(slog.DiscardHandler)
+}

@@ -1,0 +1,249 @@
+// Package orb implements InteGrade's lightweight object request broker — the
+// stand-in for the CORBA substrate the paper builds on (UIC-CORBA on client
+// nodes, JacORB on the cluster manager). It provides:
+//
+//   - a compact binary wire encoding (Encoder/Decoder), analogous to CDR;
+//   - object references naming a transport endpoint plus an object key,
+//     analogous to IORs;
+//   - an object adapter dispatching operations to registered servants;
+//   - a TCP transport with connection reuse and request multiplexing, and an
+//     in-process loopback transport (with optional fault injection) that the
+//     simulator uses for deterministic large-scale experiments.
+//
+// Higher-level CORBA-like services (Naming, Trading) live in their own
+// packages and are ordinary servants on this ORB.
+package orb
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Wire-format limits. Oversized values indicate corruption or abuse.
+const (
+	// MaxStringLen bounds decoded string and byte-slice lengths.
+	MaxStringLen = 16 << 20
+	// MaxSliceLen bounds decoded element counts.
+	MaxSliceLen = 1 << 20
+)
+
+// ErrTruncated is returned by Decoder reads past the end of the buffer.
+var ErrTruncated = errors.New("orb: truncated message")
+
+// Encoder serializes primitive values into a growable buffer. The zero value
+// is ready to use.
+type Encoder struct {
+	buf []byte
+}
+
+// Bytes returns the encoded buffer. The slice aliases the encoder's internal
+// storage; callers must not retain it across further Put calls.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the number of encoded bytes.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Reset clears the buffer, retaining capacity.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// PutU8 appends a byte.
+func (e *Encoder) PutU8(v uint8) { e.buf = append(e.buf, v) }
+
+// PutBool appends a boolean as one byte.
+func (e *Encoder) PutBool(v bool) {
+	if v {
+		e.PutU8(1)
+	} else {
+		e.PutU8(0)
+	}
+}
+
+// PutU32 appends a big-endian uint32.
+func (e *Encoder) PutU32(v uint32) {
+	e.buf = binary.BigEndian.AppendUint32(e.buf, v)
+}
+
+// PutU64 appends a big-endian uint64.
+func (e *Encoder) PutU64(v uint64) {
+	e.buf = binary.BigEndian.AppendUint64(e.buf, v)
+}
+
+// PutI64 appends a big-endian int64.
+func (e *Encoder) PutI64(v int64) { e.PutU64(uint64(v)) }
+
+// PutInt appends an int as int64.
+func (e *Encoder) PutInt(v int) { e.PutI64(int64(v)) }
+
+// PutF64 appends an IEEE-754 float64.
+func (e *Encoder) PutF64(v float64) { e.PutU64(math.Float64bits(v)) }
+
+// PutString appends a length-prefixed UTF-8 string.
+func (e *Encoder) PutString(v string) {
+	e.PutU32(uint32(len(v)))
+	e.buf = append(e.buf, v...)
+}
+
+// PutBytes appends a length-prefixed byte slice.
+func (e *Encoder) PutBytes(v []byte) {
+	e.PutU32(uint32(len(v)))
+	e.buf = append(e.buf, v...)
+}
+
+// PutTime appends a time instant with nanosecond precision (UTC).
+func (e *Encoder) PutTime(t time.Time) {
+	e.PutI64(t.Unix())
+	e.PutU32(uint32(t.Nanosecond()))
+}
+
+// PutDuration appends a duration.
+func (e *Encoder) PutDuration(d time.Duration) { e.PutI64(int64(d)) }
+
+// PutStrings appends a length-prefixed slice of strings.
+func (e *Encoder) PutStrings(vs []string) {
+	e.PutU32(uint32(len(vs)))
+	for _, v := range vs {
+		e.PutString(v)
+	}
+}
+
+// Decoder reads values sequentially from a buffer.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder returns a Decoder over buf. The Decoder does not copy buf.
+func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+// Err returns the first decoding error encountered, if any. All Get methods
+// return zero values after an error, so a single Err check at the end of a
+// decode sequence suffices.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining returns the number of unread bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+func (d *Decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.off+n > len(d.buf) {
+		d.err = ErrTruncated
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// U8 reads a byte.
+func (d *Decoder) U8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// Bool reads a boolean.
+func (d *Decoder) Bool() bool { return d.U8() != 0 }
+
+// U32 reads a big-endian uint32.
+func (d *Decoder) U32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+// U64 reads a big-endian uint64.
+func (d *Decoder) U64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+// I64 reads a big-endian int64.
+func (d *Decoder) I64() int64 { return int64(d.U64()) }
+
+// Int reads an int encoded as int64.
+func (d *Decoder) Int() int { return int(d.I64()) }
+
+// F64 reads an IEEE-754 float64.
+func (d *Decoder) F64() float64 { return math.Float64frombits(d.U64()) }
+
+// String reads a length-prefixed string.
+func (d *Decoder) String() string {
+	n := d.U32()
+	if d.err != nil {
+		return ""
+	}
+	if n > MaxStringLen {
+		d.err = fmt.Errorf("orb: string length %d exceeds limit", n)
+		return ""
+	}
+	b := d.take(int(n))
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// Bytes reads a length-prefixed byte slice. The result is a copy.
+func (d *Decoder) Bytes() []byte {
+	n := d.U32()
+	if d.err != nil {
+		return nil
+	}
+	if n > MaxStringLen {
+		d.err = fmt.Errorf("orb: bytes length %d exceeds limit", n)
+		return nil
+	}
+	b := d.take(int(n))
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+// Time reads a time instant in UTC.
+func (d *Decoder) Time() time.Time {
+	sec := d.I64()
+	nsec := d.U32()
+	if d.err != nil {
+		return time.Time{}
+	}
+	return time.Unix(sec, int64(nsec)).UTC()
+}
+
+// Duration reads a duration.
+func (d *Decoder) Duration() time.Duration { return time.Duration(d.I64()) }
+
+// Strings reads a length-prefixed slice of strings.
+func (d *Decoder) Strings() []string {
+	n := d.U32()
+	if d.err != nil {
+		return nil
+	}
+	if n > MaxSliceLen {
+		d.err = fmt.Errorf("orb: slice length %d exceeds limit", n)
+		return nil
+	}
+	out := make([]string, 0, n)
+	for i := uint32(0); i < n; i++ {
+		out = append(out, d.String())
+		if d.err != nil {
+			return nil
+		}
+	}
+	return out
+}

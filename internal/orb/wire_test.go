@@ -1,0 +1,180 @@
+package orb
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestWirePrimitivesRoundTrip(t *testing.T) {
+	var e Encoder
+	now := time.Date(2026, 7, 4, 12, 0, 0, 123456789, time.UTC)
+	e.PutU8(7)
+	e.PutBool(true)
+	e.PutBool(false)
+	e.PutU32(0xDEADBEEF)
+	e.PutU64(1 << 62)
+	e.PutI64(-42)
+	e.PutInt(-7)
+	e.PutF64(3.14159)
+	e.PutString("hello, grid")
+	e.PutString("")
+	e.PutBytes([]byte{1, 2, 3})
+	e.PutTime(now)
+	e.PutDuration(5 * time.Minute)
+	e.PutStrings([]string{"a", "b", "c"})
+
+	d := NewDecoder(e.Bytes())
+	if got := d.U8(); got != 7 {
+		t.Fatalf("U8 = %d", got)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Fatal("Bool round-trip failed")
+	}
+	if got := d.U32(); got != 0xDEADBEEF {
+		t.Fatalf("U32 = %#x", got)
+	}
+	if got := d.U64(); got != 1<<62 {
+		t.Fatalf("U64 = %d", got)
+	}
+	if got := d.I64(); got != -42 {
+		t.Fatalf("I64 = %d", got)
+	}
+	if got := d.Int(); got != -7 {
+		t.Fatalf("Int = %d", got)
+	}
+	if got := d.F64(); got != 3.14159 {
+		t.Fatalf("F64 = %v", got)
+	}
+	if got := d.String(); got != "hello, grid" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := d.String(); got != "" {
+		t.Fatalf("empty String = %q", got)
+	}
+	if got := d.Bytes(); len(got) != 3 || got[0] != 1 {
+		t.Fatalf("Bytes = %v", got)
+	}
+	if got := d.Time(); !got.Equal(now) {
+		t.Fatalf("Time = %v, want %v", got, now)
+	}
+	if got := d.Duration(); got != 5*time.Minute {
+		t.Fatalf("Duration = %v", got)
+	}
+	ss := d.Strings()
+	if len(ss) != 3 || ss[2] != "c" {
+		t.Fatalf("Strings = %v", ss)
+	}
+	if err := d.Err(); err != nil {
+		t.Fatalf("Err = %v", err)
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("Remaining = %d", d.Remaining())
+	}
+}
+
+func TestDecoderTruncation(t *testing.T) {
+	var e Encoder
+	e.PutU64(1)
+	d := NewDecoder(e.Bytes()[:4])
+	d.U64()
+	if !errors.Is(d.Err(), ErrTruncated) {
+		t.Fatalf("Err = %v, want ErrTruncated", d.Err())
+	}
+	// After an error every read returns zero values without panicking.
+	if d.String() != "" || d.U32() != 0 || d.Bytes() != nil {
+		t.Fatal("post-error reads returned non-zero values")
+	}
+}
+
+func TestDecoderBogusLengths(t *testing.T) {
+	var e Encoder
+	e.PutU32(0xFFFFFFFF) // absurd string length
+	d := NewDecoder(e.Bytes())
+	if d.String() != "" || d.Err() == nil {
+		t.Fatal("oversized string length accepted")
+	}
+
+	var e2 Encoder
+	e2.PutU32(0xFFFFFFFF)
+	d2 := NewDecoder(e2.Bytes())
+	if d2.Strings() != nil || d2.Err() == nil {
+		t.Fatal("oversized slice length accepted")
+	}
+}
+
+// Property: any (string, bytes, i64, f64, bool) tuple round-trips.
+func TestWireRoundTripProperty(t *testing.T) {
+	f := func(s string, b []byte, i int64, fl float64, bo bool) bool {
+		var e Encoder
+		e.PutString(s)
+		e.PutBytes(b)
+		e.PutI64(i)
+		e.PutF64(fl)
+		e.PutBool(bo)
+		d := NewDecoder(e.Bytes())
+		gs := d.String()
+		gb := d.Bytes()
+		gi := d.I64()
+		gf := d.F64()
+		gbo := d.Bool()
+		if d.Err() != nil || d.Remaining() != 0 {
+			return false
+		}
+		if gs != s || gi != i || gbo != bo {
+			return false
+		}
+		if len(gb) != len(b) {
+			return false
+		}
+		for k := range b {
+			if gb[k] != b[k] {
+				return false
+			}
+		}
+		// NaN never equals itself; compare bit patterns via encoder.
+		if fl == fl && gf != fl {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Strings slices of any content round-trip.
+func TestWireStringsProperty(t *testing.T) {
+	f := func(ss []string) bool {
+		var e Encoder
+		e.PutStrings(ss)
+		d := NewDecoder(e.Bytes())
+		got := d.Strings()
+		if d.Err() != nil || len(got) != len(ss) {
+			return false
+		}
+		for i := range ss {
+			if got[i] != ss[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncoderReset(t *testing.T) {
+	var e Encoder
+	e.PutString("abc")
+	e.Reset()
+	if e.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", e.Len())
+	}
+	e.PutU8(1)
+	if e.Len() != 1 {
+		t.Fatalf("Len = %d", e.Len())
+	}
+}

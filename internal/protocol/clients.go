@@ -1,0 +1,154 @@
+package protocol
+
+import (
+	"integrade/internal/orb"
+)
+
+// GRMClient is the typed stub the LRM, ASCT and peer clusters use to invoke
+// a GRM.
+type GRMClient struct {
+	inv orb.Invoker
+	ref orb.ObjectRef
+}
+
+// NewGRMClient returns a stub for the GRM at ref.
+func NewGRMClient(inv orb.Invoker, ref orb.ObjectRef) *GRMClient {
+	return &GRMClient{inv: inv, ref: ref}
+}
+
+// Ref returns the target reference.
+func (c *GRMClient) Ref() orb.ObjectRef { return c.ref }
+
+// Update pushes a NodeStatus (Information Update Protocol).
+func (c *GRMClient) Update(s NodeStatus) error {
+	var e orb.Encoder
+	s.Encode(&e)
+	_, err := c.inv.Invoke(c.ref, OpUpdate, e.Bytes())
+	return err
+}
+
+// Submit submits an application and returns its assigned ID.
+func (c *GRMClient) Submit(spec ApplicationSpec) (string, error) {
+	var e orb.Encoder
+	spec.Encode(&e)
+	reply, err := c.inv.Invoke(c.ref, OpSubmit, e.Bytes())
+	if err != nil {
+		return "", err
+	}
+	d := orb.NewDecoder(reply)
+	id := d.String()
+	if err := d.Err(); err != nil {
+		return "", orb.Errorf(orb.CodeMarshal, "submit reply: %v", err)
+	}
+	return id, nil
+}
+
+// Notify reports a task event.
+func (c *GRMClient) Notify(ev TaskEvent) error {
+	var e orb.Encoder
+	ev.Encode(&e)
+	_, err := c.inv.Invoke(c.ref, OpNotify, e.Bytes())
+	return err
+}
+
+// CancelApp aborts an application: running tasks are cancelled on their
+// nodes, pending tasks are dropped.
+func (c *GRMClient) CancelApp(appID string) error {
+	var e orb.Encoder
+	e.PutString(appID)
+	_, err := c.inv.Invoke(c.ref, OpCancelApp, e.Bytes())
+	return err
+}
+
+// ListApps returns the IDs of all applications known to the GRM, sorted.
+func (c *GRMClient) ListApps() ([]string, error) {
+	reply, err := c.inv.Invoke(c.ref, OpListApps, nil)
+	if err != nil {
+		return nil, err
+	}
+	d := orb.NewDecoder(reply)
+	ids := d.Strings()
+	if err := d.Err(); err != nil {
+		return nil, orb.Errorf(orb.CodeMarshal, "listApps reply: %v", err)
+	}
+	return ids, nil
+}
+
+// AppStatus fetches an application's status.
+func (c *GRMClient) AppStatus(appID string) (AppStatus, error) {
+	var e orb.Encoder
+	e.PutString(appID)
+	reply, err := c.inv.Invoke(c.ref, OpAppStatus, e.Bytes())
+	if err != nil {
+		return AppStatus{}, err
+	}
+	return DecodeAppStatus(orb.NewDecoder(reply))
+}
+
+// LRMClient is the typed stub the GRM uses to negotiate with an LRM.
+type LRMClient struct {
+	inv orb.Invoker
+	ref orb.ObjectRef
+}
+
+// NewLRMClient returns a stub for the LRM at ref.
+func NewLRMClient(inv orb.Invoker, ref orb.ObjectRef) *LRMClient {
+	return &LRMClient{inv: inv, ref: ref}
+}
+
+// Ref returns the target reference.
+func (c *LRMClient) Ref() orb.ObjectRef { return c.ref }
+
+// Reserve asks the LRM to hold resources.
+func (c *LRMClient) Reserve(req ReserveRequest) (ReserveReply, error) {
+	var e orb.Encoder
+	req.Encode(&e)
+	reply, err := c.inv.Invoke(c.ref, OpReserve, e.Bytes())
+	if err != nil {
+		return ReserveReply{}, err
+	}
+	return DecodeReserveReply(orb.NewDecoder(reply))
+}
+
+// Release cancels a granted reservation that will not be used (e.g. an
+// abandoned gang placement), freeing the hold before its TTL expires.
+func (c *LRMClient) Release(reservationID string) error {
+	var e orb.Encoder
+	e.PutString(reservationID)
+	_, err := c.inv.Invoke(c.ref, OpRelease, e.Bytes())
+	return err
+}
+
+// Execute binds a reservation to a task and starts it.
+func (c *LRMClient) Execute(req ExecuteRequest) error {
+	var e orb.Encoder
+	req.Encode(&e)
+	_, err := c.inv.Invoke(c.ref, OpExecute, e.Bytes())
+	return err
+}
+
+// Cancel aborts a running task. It returns the task's progress at
+// cancellation (0 if the task was unknown).
+func (c *LRMClient) Cancel(taskID string) (float64, error) {
+	var e orb.Encoder
+	e.PutString(taskID)
+	reply, err := c.inv.Invoke(c.ref, OpCancel, e.Bytes())
+	if err != nil {
+		return 0, err
+	}
+	d := orb.NewDecoder(reply)
+	progress := d.F64()
+	if err := d.Err(); err != nil {
+		return 0, orb.Errorf(orb.CodeMarshal, "cancel reply: %v", err)
+	}
+	return progress, nil
+}
+
+// NodeState fetches the LRM's current NodeStatus directly.
+func (c *LRMClient) NodeState() (NodeStatus, error) {
+	reply, err := c.inv.Invoke(c.ref, OpNodeState, nil)
+	if err != nil {
+		return NodeStatus{}, err
+	}
+	return DecodeNodeStatus(orb.NewDecoder(reply))
+}

@@ -1,0 +1,263 @@
+package protocol
+
+import (
+	"testing"
+	"time"
+
+	"integrade/internal/orb"
+	"integrade/internal/resource"
+)
+
+// fakeManagers implements both manager interfaces in-memory to exercise the
+// typed stubs end to end over the loopback ORB.
+type fakeManagers struct {
+	updates  []NodeStatus
+	events   []TaskEvent
+	apps     map[string]AppStatus
+	order    []string
+	granted  bool
+	executed []ExecuteRequest
+	released []string
+	canceled []string
+}
+
+func newFakes() *fakeManagers {
+	return &fakeManagers{apps: make(map[string]AppStatus), granted: true}
+}
+
+func (f *fakeManagers) grmServant() orb.Servant {
+	return orb.NewOpMux().
+		Handle(OpUpdate, func(_ string, req *orb.Decoder) (*orb.Encoder, error) {
+			s, err := DecodeNodeStatus(req)
+			if err != nil {
+				return nil, err
+			}
+			f.updates = append(f.updates, s)
+			return &orb.Encoder{}, nil
+		}).
+		Handle(OpSubmit, func(_ string, req *orb.Decoder) (*orb.Encoder, error) {
+			spec, err := DecodeApplicationSpec(req)
+			if err != nil {
+				return nil, err
+			}
+			id := "app-" + spec.Name
+			f.apps[id] = AppStatus{AppID: id, Name: spec.Name, Kind: spec.Kind}
+			f.order = append(f.order, id)
+			var e orb.Encoder
+			e.PutString(id)
+			return &e, nil
+		}).
+		Handle(OpNotify, func(_ string, req *orb.Decoder) (*orb.Encoder, error) {
+			ev, err := DecodeTaskEvent(req)
+			if err != nil {
+				return nil, err
+			}
+			f.events = append(f.events, ev)
+			return &orb.Encoder{}, nil
+		}).
+		Handle(OpAppStatus, func(_ string, req *orb.Decoder) (*orb.Encoder, error) {
+			id := req.String()
+			st, ok := f.apps[id]
+			if !ok {
+				return nil, orb.Errorf(orb.CodeApplication, "unknown app %q", id)
+			}
+			var e orb.Encoder
+			st.Encode(&e)
+			return &e, nil
+		}).
+		Handle(OpCancelApp, func(_ string, req *orb.Decoder) (*orb.Encoder, error) {
+			f.canceled = append(f.canceled, req.String())
+			return &orb.Encoder{}, nil
+		}).
+		Handle(OpListApps, func(string, *orb.Decoder) (*orb.Encoder, error) {
+			var e orb.Encoder
+			e.PutStrings(f.order)
+			return &e, nil
+		})
+}
+
+func (f *fakeManagers) lrmServant() orb.Servant {
+	return orb.NewOpMux().
+		Handle(OpReserve, func(_ string, req *orb.Decoder) (*orb.Encoder, error) {
+			if _, err := DecodeReserveRequest(req); err != nil {
+				return nil, err
+			}
+			reply := ReserveReply{Granted: f.granted, ReservationID: "rsv-1", Reason: "because"}
+			var e orb.Encoder
+			reply.Encode(&e)
+			return &e, nil
+		}).
+		Handle(OpRelease, func(_ string, req *orb.Decoder) (*orb.Encoder, error) {
+			f.released = append(f.released, req.String())
+			return &orb.Encoder{}, nil
+		}).
+		Handle(OpExecute, func(_ string, req *orb.Decoder) (*orb.Encoder, error) {
+			r, err := DecodeExecuteRequest(req)
+			if err != nil {
+				return nil, err
+			}
+			f.executed = append(f.executed, r)
+			return &orb.Encoder{}, nil
+		}).
+		Handle(OpCancel, func(_ string, req *orb.Decoder) (*orb.Encoder, error) {
+			_ = req.String()
+			var e orb.Encoder
+			e.PutF64(123.5)
+			return &e, nil
+		}).
+		Handle(OpNodeState, func(string, *orb.Decoder) (*orb.Encoder, error) {
+			s := NodeStatus{NodeID: "n1", Timestamp: time.Unix(5, 0).UTC()}
+			var e orb.Encoder
+			s.Encode(&e)
+			return &e, nil
+		})
+}
+
+func setup(t *testing.T) (*fakeManagers, *GRMClient, *LRMClient) {
+	t.Helper()
+	o := orb.New()
+	f := newFakes()
+	adapter := orb.NewAdapter()
+	if err := adapter.Register(GRMKey, f.grmServant()); err != nil {
+		t.Fatal(err)
+	}
+	if err := adapter.Register(LRMKey, f.lrmServant()); err != nil {
+		t.Fatal(err)
+	}
+	ep, err := o.BindLoopback("mgr", adapter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grm := NewGRMClient(o, orb.ObjectRef{Endpoint: ep, Key: GRMKey})
+	lrm := NewLRMClient(o, orb.ObjectRef{Endpoint: ep, Key: LRMKey})
+	return f, grm, lrm
+}
+
+func TestGRMClientRoundTrips(t *testing.T) {
+	f, grm, _ := setup(t)
+	if grm.Ref().Key != GRMKey {
+		t.Fatal("Ref mismatch")
+	}
+
+	status := NodeStatus{NodeID: "n1", Timestamp: time.Unix(9, 0).UTC()}
+	if err := grm.Update(status); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.updates) != 1 || f.updates[0].NodeID != "n1" {
+		t.Fatalf("updates = %+v", f.updates)
+	}
+
+	id, err := grm.Submit(ApplicationSpec{
+		Name: "demo", Kind: AppSequential, NumTasks: 1, WorkPerTask: 1,
+		Alloc: resource.Vector{MIPS: 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != "app-demo" {
+		t.Fatalf("id = %q", id)
+	}
+
+	if err := grm.Notify(TaskEvent{Kind: TaskEventDone, AppID: id, TaskID: "t0", At: time.Unix(1, 0).UTC()}); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.events) != 1 || f.events[0].Kind != TaskEventDone {
+		t.Fatalf("events = %+v", f.events)
+	}
+
+	st, err := grm.AppStatus(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.AppID != id || st.Name != "demo" {
+		t.Fatalf("status = %+v", st)
+	}
+	if _, err := grm.AppStatus("ghost"); err == nil {
+		t.Fatal("ghost app status succeeded")
+	}
+
+	ids, err := grm.ListApps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 || ids[0] != id {
+		t.Fatalf("ListApps = %v", ids)
+	}
+
+	if err := grm.CancelApp(id); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.canceled) != 1 || f.canceled[0] != id {
+		t.Fatalf("canceled = %v", f.canceled)
+	}
+}
+
+func TestLRMClientRoundTrips(t *testing.T) {
+	f, _, lrm := setup(t)
+	if lrm.Ref().Key != LRMKey {
+		t.Fatal("Ref mismatch")
+	}
+
+	reply, err := lrm.Reserve(ReserveRequest{Holder: "app", Amount: resource.Vector{MIPS: 10}, TTL: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reply.Granted || reply.ReservationID != "rsv-1" {
+		t.Fatalf("reply = %+v", reply)
+	}
+
+	if err := lrm.Execute(ExecuteRequest{ReservationID: "rsv-1", TaskID: "t", Work: 5, Alloc: resource.Vector{MIPS: 10}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.executed) != 1 || f.executed[0].TaskID != "t" {
+		t.Fatalf("executed = %+v", f.executed)
+	}
+
+	if err := lrm.Release("rsv-1"); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.released) != 1 || f.released[0] != "rsv-1" {
+		t.Fatalf("released = %v", f.released)
+	}
+
+	progress, err := lrm.Cancel("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if progress != 123.5 {
+		t.Fatalf("progress = %v", progress)
+	}
+
+	state, err := lrm.NodeState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state.NodeID != "n1" {
+		t.Fatalf("state = %+v", state)
+	}
+}
+
+func TestClientsSurfaceTransportErrors(t *testing.T) {
+	o := orb.New()
+	dead := orb.ObjectRef{Endpoint: orb.Endpoint{Net: orb.NetLoopback, Addr: "nowhere"}, Key: GRMKey}
+	grm := NewGRMClient(o, dead)
+	if err := grm.Update(NodeStatus{}); err == nil {
+		t.Fatal("update to dead endpoint succeeded")
+	}
+	if _, err := grm.Submit(ApplicationSpec{Name: "x", Kind: AppSequential, NumTasks: 1, WorkPerTask: 1}); err == nil {
+		t.Fatal("submit to dead endpoint succeeded")
+	}
+	if _, err := grm.ListApps(); err == nil {
+		t.Fatal("list to dead endpoint succeeded")
+	}
+	lrm := NewLRMClient(o, dead)
+	if _, err := lrm.Reserve(ReserveRequest{}); err == nil {
+		t.Fatal("reserve to dead endpoint succeeded")
+	}
+	if _, err := lrm.NodeState(); err == nil {
+		t.Fatal("nodeState to dead endpoint succeeded")
+	}
+	if _, err := lrm.Cancel("x"); err == nil {
+		t.Fatal("cancel to dead endpoint succeeded")
+	}
+}

@@ -1,0 +1,272 @@
+// Package protocol defines the wire-level messages of InteGrade's
+// intra-cluster protocols, shared by the LRM and GRM:
+//
+//   - the Information Update Protocol (LRM → GRM periodic NodeStatus);
+//   - the Resource Reservation and Execution Protocol (GRM → LRM
+//     reserve/execute/cancel, LRM → GRM task notifications);
+//   - application submission records (ASCT → GRM).
+//
+// These correspond to the CORBA IDL interfaces of the original system.
+package protocol
+
+import (
+	"time"
+
+	"integrade/internal/orb"
+	"integrade/internal/resource"
+)
+
+// Object adapter keys for the two managers.
+const (
+	GRMKey = "grm"
+	LRMKey = "lrm"
+)
+
+// Operation names.
+const (
+	// GRM operations.
+	OpUpdate    = "update"    // LRM pushes NodeStatus
+	OpSubmit    = "submit"    // ASCT submits an application
+	OpNotify    = "notify"    // LRM reports a task event
+	OpAppStatus = "appStatus" // ASCT polls application status
+	OpCancelApp = "cancelApp" // ASCT aborts an application
+	OpListApps  = "listApps"  // ASCT enumerates applications
+	OpPeerInfo  = "peerInfo"  // hierarchy: cluster summary exchange
+
+	// LRM operations.
+	OpReserve   = "reserve"
+	OpRelease   = "release"
+	OpExecute   = "execute"
+	OpCancel    = "cancel"
+	OpNodeState = "nodeState"
+)
+
+// NodeStatus is one Information Update Protocol message: the LRM's
+// description of its node at an instant.
+type NodeStatus struct {
+	NodeID   string
+	LRMRef   orb.ObjectRef
+	Platform resource.Platform
+	LANID    string
+	// Capacity is the machine's total hardware capacity.
+	Capacity resource.Vector
+	// GridFree is what the grid could commit right now: the NCC share minus
+	// reservations and running tasks. Zero when sharing is disallowed.
+	GridFree resource.Vector
+	// Dedicated marks machines reserved for the grid.
+	Dedicated bool
+	// OwnerBusy reports whether the owner is actively using the machine.
+	OwnerBusy bool
+	// PredictedIdle is the node-local LUPA forecast of the remaining idle
+	// span (zero when untrained or not idle).
+	PredictedIdle time.Duration
+	// Timestamp is the LRM-side send time, used for staleness accounting.
+	Timestamp time.Time
+}
+
+// Encode writes the status.
+func (s NodeStatus) Encode(e *orb.Encoder) {
+	e.PutString(s.NodeID)
+	EncodeRef(e, s.LRMRef)
+	e.PutString(s.Platform.Arch)
+	e.PutString(s.Platform.OS)
+	e.PutString(s.LANID)
+	EncodeVector(e, s.Capacity)
+	EncodeVector(e, s.GridFree)
+	e.PutBool(s.Dedicated)
+	e.PutBool(s.OwnerBusy)
+	e.PutDuration(s.PredictedIdle)
+	e.PutTime(s.Timestamp)
+}
+
+// DecodeNodeStatus reads a NodeStatus.
+func DecodeNodeStatus(d *orb.Decoder) (NodeStatus, error) {
+	s := NodeStatus{
+		NodeID: d.String(),
+		LRMRef: DecodeRef(d),
+	}
+	s.Platform.Arch = d.String()
+	s.Platform.OS = d.String()
+	s.LANID = d.String()
+	s.Capacity = DecodeVector(d)
+	s.GridFree = DecodeVector(d)
+	s.Dedicated = d.Bool()
+	s.OwnerBusy = d.Bool()
+	s.PredictedIdle = d.Duration()
+	s.Timestamp = d.Time()
+	return s, d.Err()
+}
+
+// ReserveRequest asks an LRM to hold resources (negotiation phase).
+type ReserveRequest struct {
+	Holder string // application/request identifier
+	Amount resource.Vector
+	TTL    time.Duration // how long the hold may stand before execution
+}
+
+// Encode writes the request.
+func (r ReserveRequest) Encode(e *orb.Encoder) {
+	e.PutString(r.Holder)
+	EncodeVector(e, r.Amount)
+	e.PutDuration(r.TTL)
+}
+
+// DecodeReserveRequest reads a ReserveRequest.
+func DecodeReserveRequest(d *orb.Decoder) (ReserveRequest, error) {
+	r := ReserveRequest{
+		Holder: d.String(),
+		Amount: DecodeVector(d),
+		TTL:    d.Duration(),
+	}
+	return r, d.Err()
+}
+
+// ReserveReply is the LRM's answer: granted with a reservation ID, or
+// refused with a reason — the signal that sends the GRM to the next
+// candidate.
+type ReserveReply struct {
+	Granted       bool
+	ReservationID string
+	Reason        string
+}
+
+// Encode writes the reply.
+func (r ReserveReply) Encode(e *orb.Encoder) {
+	e.PutBool(r.Granted)
+	e.PutString(r.ReservationID)
+	e.PutString(r.Reason)
+}
+
+// DecodeReserveReply reads a ReserveReply.
+func DecodeReserveReply(d *orb.Decoder) (ReserveReply, error) {
+	r := ReserveReply{
+		Granted:       d.Bool(),
+		ReservationID: d.String(),
+		Reason:        d.String(),
+	}
+	return r, d.Err()
+}
+
+// ExecuteRequest binds a granted reservation to a concrete task.
+type ExecuteRequest struct {
+	ReservationID string
+	TaskID        string
+	AppID         string
+	Work          float64 // MI
+	Alloc         resource.Vector
+	// InitialProgress restores a checkpointed task after migration.
+	InitialProgress float64
+}
+
+// Encode writes the request.
+func (r ExecuteRequest) Encode(e *orb.Encoder) {
+	e.PutString(r.ReservationID)
+	e.PutString(r.TaskID)
+	e.PutString(r.AppID)
+	e.PutF64(r.Work)
+	EncodeVector(e, r.Alloc)
+	e.PutF64(r.InitialProgress)
+}
+
+// DecodeExecuteRequest reads an ExecuteRequest.
+func DecodeExecuteRequest(d *orb.Decoder) (ExecuteRequest, error) {
+	r := ExecuteRequest{
+		ReservationID: d.String(),
+		TaskID:        d.String(),
+		AppID:         d.String(),
+		Work:          d.F64(),
+		Alloc:         DecodeVector(d),
+	}
+	r.InitialProgress = d.F64()
+	return r, d.Err()
+}
+
+// TaskEventKind classifies LRM → GRM task notifications.
+type TaskEventKind int
+
+// Task event kinds.
+const (
+	TaskEventDone TaskEventKind = iota + 1
+	TaskEventEvicted
+	TaskEventProgress
+)
+
+// String implements fmt.Stringer.
+func (k TaskEventKind) String() string {
+	switch k {
+	case TaskEventDone:
+		return "done"
+	case TaskEventEvicted:
+		return "evicted"
+	case TaskEventProgress:
+		return "progress"
+	default:
+		return "unknown"
+	}
+}
+
+// TaskEvent is an LRM → GRM notification about a task.
+type TaskEvent struct {
+	Kind     TaskEventKind
+	AppID    string
+	TaskID   string
+	NodeID   string
+	Progress float64 // MI completed at event time
+	At       time.Time
+}
+
+// Encode writes the event.
+func (ev TaskEvent) Encode(e *orb.Encoder) {
+	e.PutU8(uint8(ev.Kind))
+	e.PutString(ev.AppID)
+	e.PutString(ev.TaskID)
+	e.PutString(ev.NodeID)
+	e.PutF64(ev.Progress)
+	e.PutTime(ev.At)
+}
+
+// DecodeTaskEvent reads a TaskEvent.
+func DecodeTaskEvent(d *orb.Decoder) (TaskEvent, error) {
+	ev := TaskEvent{
+		Kind:     TaskEventKind(d.U8()),
+		AppID:    d.String(),
+		TaskID:   d.String(),
+		NodeID:   d.String(),
+		Progress: d.F64(),
+		At:       d.Time(),
+	}
+	return ev, d.Err()
+}
+
+// EncodeVector writes a resource vector.
+func EncodeVector(e *orb.Encoder, v resource.Vector) {
+	e.PutF64(v.MIPS)
+	e.PutF64(v.RAMMB)
+	e.PutF64(v.DiskMB)
+	e.PutF64(v.NetMbps)
+}
+
+// DecodeVector reads a resource vector.
+func DecodeVector(d *orb.Decoder) resource.Vector {
+	return resource.Vector{
+		MIPS:    d.F64(),
+		RAMMB:   d.F64(),
+		DiskMB:  d.F64(),
+		NetMbps: d.F64(),
+	}
+}
+
+// EncodeRef writes an object reference.
+func EncodeRef(e *orb.Encoder, ref orb.ObjectRef) {
+	e.PutString(ref.Endpoint.Net)
+	e.PutString(ref.Endpoint.Addr)
+	e.PutString(ref.Key)
+}
+
+// DecodeRef reads an object reference.
+func DecodeRef(d *orb.Decoder) orb.ObjectRef {
+	return orb.ObjectRef{
+		Endpoint: orb.Endpoint{Net: d.String(), Addr: d.String()},
+		Key:      d.String(),
+	}
+}

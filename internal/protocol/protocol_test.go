@@ -1,0 +1,287 @@
+package protocol
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"integrade/internal/orb"
+	"integrade/internal/resource"
+)
+
+func TestNodeStatusRoundTrip(t *testing.T) {
+	s := NodeStatus{
+		NodeID: "node-7",
+		LRMRef: orb.ObjectRef{
+			Endpoint: orb.Endpoint{Net: orb.NetLoopback, Addr: "cluster-0"},
+			Key:      "lrm",
+		},
+		Platform:      resource.Platform{Arch: "amd64", OS: "linux"},
+		LANID:         "lanA",
+		Capacity:      resource.Vector{MIPS: 1000, RAMMB: 512, DiskMB: 100, NetMbps: 100},
+		GridFree:      resource.Vector{MIPS: 500, RAMMB: 256, DiskMB: 100, NetMbps: 100},
+		Dedicated:     false,
+		OwnerBusy:     true,
+		PredictedIdle: 90 * time.Minute,
+		Timestamp:     time.Date(2026, 7, 4, 10, 0, 0, 0, time.UTC),
+	}
+	var e orb.Encoder
+	s.Encode(&e)
+	got, err := DecodeNodeStatus(orb.NewDecoder(e.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != s {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, s)
+	}
+}
+
+func TestReserveRoundTrip(t *testing.T) {
+	req := ReserveRequest{
+		Holder: "app-3",
+		Amount: resource.Vector{MIPS: 400, RAMMB: 64},
+		TTL:    30 * time.Second,
+	}
+	var e orb.Encoder
+	req.Encode(&e)
+	gotReq, err := DecodeReserveRequest(orb.NewDecoder(e.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotReq != req {
+		t.Fatalf("request round trip = %+v", gotReq)
+	}
+
+	rep := ReserveReply{Granted: false, Reason: "insufficient free capacity"}
+	e.Reset()
+	rep.Encode(&e)
+	gotRep, err := DecodeReserveReply(orb.NewDecoder(e.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotRep != rep {
+		t.Fatalf("reply round trip = %+v", gotRep)
+	}
+}
+
+func TestExecuteRoundTrip(t *testing.T) {
+	req := ExecuteRequest{
+		ReservationID:   "rsv-9",
+		TaskID:          "app-1/t0",
+		AppID:           "app-1",
+		Work:            1e6,
+		Alloc:           resource.Vector{MIPS: 500, RAMMB: 128},
+		InitialProgress: 2.5e5,
+	}
+	var e orb.Encoder
+	req.Encode(&e)
+	got, err := DecodeExecuteRequest(orb.NewDecoder(e.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != req {
+		t.Fatalf("round trip = %+v", got)
+	}
+}
+
+func TestTaskEventRoundTrip(t *testing.T) {
+	ev := TaskEvent{
+		Kind:     TaskEventEvicted,
+		AppID:    "app-1",
+		TaskID:   "app-1/t3",
+		NodeID:   "node-12",
+		Progress: 123456,
+		At:       time.Date(2026, 7, 4, 11, 30, 0, 0, time.UTC),
+	}
+	var e orb.Encoder
+	ev.Encode(&e)
+	got, err := DecodeTaskEvent(orb.NewDecoder(e.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != ev {
+		t.Fatalf("round trip = %+v", got)
+	}
+}
+
+func TestApplicationSpecRoundTrip(t *testing.T) {
+	linux := resource.Platform{Arch: "amd64", OS: "linux"}
+	spec := ApplicationSpec{
+		Name:        "render",
+		Kind:        AppBSP,
+		NumTasks:    100,
+		WorkPerTask: 5e6,
+		Requirements: resource.Requirements{
+			Platform: &linux,
+			Min:      resource.Vector{MIPS: 500, RAMMB: 16},
+		},
+		Constraint:  "lan == 'lanA'",
+		Preferences: resource.Preferences{FasterCPU: true, StayIdleWeight: 1},
+		Alloc:       resource.Vector{MIPS: 500, RAMMB: 32},
+		Topology: &TopologyRequest{
+			Groups:    []TopologyGroup{{Nodes: 50, IntraMbps: 100}, {Nodes: 50, IntraMbps: 100}},
+			InterMbps: 10,
+		},
+		CheckpointEveryWork: 1e5,
+		RestartEvicted:      true,
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var e orb.Encoder
+	spec.Encode(&e)
+	got, err := DecodeApplicationSpec(orb.NewDecoder(e.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != spec.Name || got.Kind != spec.Kind || got.NumTasks != spec.NumTasks {
+		t.Fatalf("identity fields: %+v", got)
+	}
+	if got.Requirements.Platform == nil || *got.Requirements.Platform != linux {
+		t.Fatalf("platform: %+v", got.Requirements.Platform)
+	}
+	if got.Topology == nil || got.Topology.TotalNodes() != 100 || got.Topology.InterMbps != 10 {
+		t.Fatalf("topology: %+v", got.Topology)
+	}
+	if !got.RestartEvicted || got.CheckpointEveryWork != 1e5 {
+		t.Fatalf("recovery fields: %+v", got)
+	}
+	if got.Constraint != spec.Constraint {
+		t.Fatalf("constraint: %q", got.Constraint)
+	}
+}
+
+func TestApplicationSpecValidate(t *testing.T) {
+	base := ApplicationSpec{
+		Name:        "a",
+		Kind:        AppSequential,
+		NumTasks:    1,
+		WorkPerTask: 100,
+	}
+	if err := base.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*ApplicationSpec)
+	}{
+		{"no name", func(s *ApplicationSpec) { s.Name = "" }},
+		{"bad kind", func(s *ApplicationSpec) { s.Kind = 0 }},
+		{"sequential multi-task", func(s *ApplicationSpec) { s.NumTasks = 2 }},
+		{"zero work", func(s *ApplicationSpec) { s.WorkPerTask = 0 }},
+		{"bsp zero tasks", func(s *ApplicationSpec) { s.Kind = AppBSP; s.NumTasks = 0 }},
+		{"topology mismatch", func(s *ApplicationSpec) {
+			s.Kind = AppBSP
+			s.NumTasks = 4
+			s.Topology = &TopologyRequest{Groups: []TopologyGroup{{Nodes: 3}}}
+		}},
+		{"topology empty group", func(s *ApplicationSpec) {
+			s.Kind = AppBSP
+			s.NumTasks = 0
+			s.Topology = &TopologyRequest{Groups: []TopologyGroup{{Nodes: 0}}}
+		}},
+		{"negative checkpoint", func(s *ApplicationSpec) { s.CheckpointEveryWork = -1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s := base
+			tt.mutate(&s)
+			if err := s.Validate(); err == nil {
+				t.Fatal("invalid spec accepted")
+			}
+		})
+	}
+}
+
+func TestEffectiveAlloc(t *testing.T) {
+	s := ApplicationSpec{Requirements: resource.Requirements{Min: resource.Vector{MIPS: 100}}}
+	if got := s.EffectiveAlloc(); got.MIPS != 100 {
+		t.Fatalf("default alloc = %v", got)
+	}
+	s.Alloc = resource.Vector{MIPS: 300}
+	if got := s.EffectiveAlloc(); got.MIPS != 300 {
+		t.Fatalf("explicit alloc = %v", got)
+	}
+}
+
+func TestAppStatusRoundTripAndDone(t *testing.T) {
+	a := AppStatus{
+		AppID:        "app-1",
+		Name:         "sim",
+		Kind:         AppParametric,
+		Submitted:    time.Date(2026, 7, 1, 0, 0, 0, 0, time.UTC),
+		Negotiations: 7,
+		Tasks: []TaskStatus{
+			{TaskID: "t0", NodeID: "n1", State: TaskDone, Progress: 100, Work: 100},
+			{TaskID: "t1", NodeID: "n2", State: TaskRunning, Progress: 50, Work: 100, Restarts: 1},
+		},
+	}
+	if a.Done() {
+		t.Fatal("incomplete app reported Done")
+	}
+	var e orb.Encoder
+	a.Encode(&e)
+	got, err := DecodeAppStatus(orb.NewDecoder(e.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.AppID != a.AppID || len(got.Tasks) != 2 || got.Negotiations != 7 {
+		t.Fatalf("round trip = %+v", got)
+	}
+	if got.Tasks[1].Restarts != 1 || got.Tasks[1].State != TaskRunning {
+		t.Fatalf("task fields = %+v", got.Tasks[1])
+	}
+	got.Tasks[1].State = TaskDone
+	if !got.Done() {
+		t.Fatal("complete app not Done")
+	}
+	if (AppStatus{}).Done() {
+		t.Fatal("empty app reported Done")
+	}
+}
+
+// Property: NodeStatus round-trips for arbitrary numeric contents.
+func TestNodeStatusProperty(t *testing.T) {
+	f := func(id string, mips, ram float64, busy, ded bool) bool {
+		s := NodeStatus{
+			NodeID:    id,
+			Platform:  resource.Platform{Arch: "amd64", OS: "linux"},
+			Capacity:  resource.Vector{MIPS: mips, RAMMB: ram},
+			OwnerBusy: busy,
+			Dedicated: ded,
+			Timestamp: time.Unix(1234, 0).UTC(),
+		}
+		var e orb.Encoder
+		s.Encode(&e)
+		got, err := DecodeNodeStatus(orb.NewDecoder(e.Bytes()))
+		if err != nil {
+			return false
+		}
+		// NaN-safe comparison.
+		if mips == mips && got.Capacity.MIPS != mips {
+			return false
+		}
+		return got.NodeID == id && got.OwnerBusy == busy && got.Dedicated == ded
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for _, k := range []AppKind{AppSequential, AppParametric, AppBSP, AppKind(9)} {
+		if k.String() == "" {
+			t.Fatal("empty AppKind string")
+		}
+	}
+	for _, s := range []TaskState{TaskPending, TaskRunning, TaskDone, TaskEvicted, TaskFailed, TaskState(9)} {
+		if s.String() == "" {
+			t.Fatal("empty TaskState string")
+		}
+	}
+	for _, k := range []TaskEventKind{TaskEventDone, TaskEventEvicted, TaskEventProgress, TaskEventKind(9)} {
+		if k.String() == "" {
+			t.Fatal("empty TaskEventKind string")
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// event is a scheduled callback in a VirtualClock.
+type event struct {
+	at        time.Time
+	seq       uint64 // tie-break: FIFO among events with equal timestamps
+	fn        func()
+	index     int // heap index
+	cancelled bool
+	done      bool
+}
+
+// eventQueue is a min-heap of events ordered by (at, seq). The zero value is
+// ready to use. It is not safe for concurrent use; VirtualClock guards it.
+type eventQueue struct {
+	items eventHeap
+}
+
+func (q *eventQueue) push(ev *event) {
+	heap.Push(&q.items, ev)
+}
+
+// pop removes and returns the earliest non-cancelled event, or nil.
+func (q *eventQueue) pop() *event {
+	for q.items.Len() > 0 {
+		ev, _ := heap.Pop(&q.items).(*event)
+		if ev.cancelled {
+			continue
+		}
+		ev.done = true
+		return ev
+	}
+	return nil
+}
+
+// peek returns the earliest non-cancelled event without removing it, or nil.
+func (q *eventQueue) peek() *event {
+	for q.items.Len() > 0 {
+		ev := q.items[0]
+		if !ev.cancelled {
+			return ev
+		}
+		heap.Pop(&q.items)
+	}
+	return nil
+}
+
+func (q *eventQueue) len() int {
+	n := 0
+	for _, ev := range q.items {
+		if !ev.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev, _ := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}

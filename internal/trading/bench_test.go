@@ -1,0 +1,71 @@
+package trading
+
+import (
+	"fmt"
+	"testing"
+
+	"integrade/internal/constraint"
+	"integrade/internal/orb"
+)
+
+func benchTrader(n int) *Service {
+	s := NewService(nil)
+	for i := 0; i < n; i++ {
+		_, _ = s.Export(Offer{
+			ServiceType: "NodeStatus",
+			Ref: orb.ObjectRef{
+				Endpoint: orb.Endpoint{Net: orb.NetLoopback, Addr: fmt.Sprintf("n%d", i)},
+				Key:      "lrm",
+			},
+			Properties: constraint.Properties{
+				"mips_free": constraint.Number(float64(100 + i%1000)),
+				"ram_free":  constraint.Number(float64(64 + i%512)),
+				"os":        constraint.String("linux"),
+			},
+		})
+	}
+	return s
+}
+
+func BenchmarkSelect100Offers(b *testing.B) {
+	s := benchTrader(100)
+	q := Query{ServiceType: "NodeStatus", Constraint: "mips_free >= 500 and os == 'linux'", Preference: "mips_free"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Select(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSelect1000Offers(b *testing.B) {
+	s := benchTrader(1000)
+	q := Query{ServiceType: "NodeStatus", Constraint: "mips_free >= 500", Preference: "mips_free", Limit: 10}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Select(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExportKeyedUpsert(b *testing.B) {
+	s := benchTrader(200)
+	offer := Offer{
+		ServiceType: "NodeStatus",
+		Ref: orb.ObjectRef{
+			Endpoint: orb.Endpoint{Net: orb.NetLoopback, Addr: "n5"},
+			Key:      "lrm",
+		},
+		Properties: constraint.Properties{"mips_free": constraint.Number(1)},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.ExportKeyed(offer); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,285 @@
+// Package trading implements the ORB Trading service, the analogue of the
+// CORBA Trading Service: servers export *offers* — typed property lists plus
+// an object reference — and importers query them with constraint expressions
+// and an optional preference (rank) expression.
+//
+// This is the exact role the paper assigns to the JacORB Trader: "The GRM
+// uses the JacORB Trader to store the information it receives from the
+// LRMs." Each LRM status update becomes an offer upsert; scheduling is a
+// constraint query.
+package trading
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"integrade/internal/constraint"
+	"integrade/internal/orb"
+)
+
+// ObjectKey is the adapter key under which the trading servant registers.
+const ObjectKey = "trading"
+
+// Service errors.
+var (
+	// ErrUnknownOffer indicates a withdraw/describe of a non-existent offer.
+	ErrUnknownOffer = errors.New("trading: unknown offer")
+)
+
+// Offer is one advertised service: a type name, the exporting object, and
+// its properties.
+type Offer struct {
+	ID          string
+	ServiceType string
+	Ref         orb.ObjectRef
+	Properties  constraint.Properties
+	// Expires is the instant after which the offer is garbage; zero means
+	// no expiry. LRM offers carry an expiry so that crashed nodes age out
+	// of the trader (the staleness the Information Update Protocol bounds).
+	Expires time.Time
+}
+
+// Query selects offers of a service type.
+type Query struct {
+	ServiceType string
+	// Constraint filters offers; empty selects all of the type.
+	Constraint string
+	// Preference ranks matching offers (numeric expression, higher first);
+	// empty preserves insertion order.
+	Preference string
+	// Limit bounds the result count; 0 means unlimited.
+	Limit int
+}
+
+// Service is the in-memory trader. Safe for concurrent use.
+type Service struct {
+	mu     sync.RWMutex
+	offers map[string]*Offer // by ID
+	byType map[string]map[string]*Offer
+	seq    int
+	now    func() time.Time
+}
+
+// NewService returns an empty trader. The now function drives offer expiry;
+// pass the clock's Now (or nil for no expiry checks).
+func NewService(now func() time.Time) *Service {
+	if now == nil {
+		now = func() time.Time { return time.Time{} }
+	}
+	return &Service{
+		offers: make(map[string]*Offer),
+		byType: make(map[string]map[string]*Offer),
+		now:    now,
+	}
+}
+
+// Export registers an offer and returns its ID.
+func (s *Service) Export(o Offer) (string, error) {
+	if o.ServiceType == "" {
+		return "", fmt.Errorf("trading: offer without service type")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	o.ID = fmt.Sprintf("offer-%d", s.seq)
+	props := make(constraint.Properties, len(o.Properties))
+	for k, v := range o.Properties {
+		props[k] = v
+	}
+	o.Properties = props
+	s.offers[o.ID] = &o
+	tm := s.byType[o.ServiceType]
+	if tm == nil {
+		tm = make(map[string]*Offer)
+		s.byType[o.ServiceType] = tm
+	}
+	tm[o.ID] = &o
+	return o.ID, nil
+}
+
+// ExportKeyed upserts an offer identified by (serviceType, ref): at most one
+// offer per exporting object per type. Used by the Information Update
+// Protocol where each LRM refreshes its single status offer.
+func (s *Service) ExportKeyed(o Offer) (string, error) {
+	if o.ServiceType == "" {
+		return "", fmt.Errorf("trading: offer without service type")
+	}
+	s.mu.Lock()
+	for id, existing := range s.byType[o.ServiceType] {
+		if existing.Ref == o.Ref {
+			s.removeLocked(id)
+			break
+		}
+	}
+	s.mu.Unlock()
+	return s.Export(o)
+}
+
+// Withdraw removes an offer by ID.
+func (s *Service) Withdraw(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.offers[id]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownOffer, id)
+	}
+	s.removeLocked(id)
+	return nil
+}
+
+// WithdrawRef removes every offer of the given type exported by ref,
+// returning the count removed.
+func (s *Service) WithdrawRef(serviceType string, ref orb.ObjectRef) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for id, o := range s.byType[serviceType] {
+		if o.Ref == ref {
+			s.removeLocked(id)
+			n++
+		}
+	}
+	return n
+}
+
+// Describe returns the offer by ID.
+func (s *Service) Describe(id string) (Offer, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	o, ok := s.offers[id]
+	if !ok {
+		return Offer{}, fmt.Errorf("%w: %q", ErrUnknownOffer, id)
+	}
+	return cloneOffer(o), nil
+}
+
+// Count returns the number of live offers of the given type ("" for all).
+func (s *Service) Count(serviceType string) int {
+	s.pruneExpired()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if serviceType == "" {
+		return len(s.offers)
+	}
+	return len(s.byType[serviceType])
+}
+
+// Select evaluates a query, returning matching offers best-first.
+//
+// Offers whose constraint evaluation errors (for example, a missing
+// property) simply do not match — mirroring the CORBA trader, which treats
+// such offers as failing the constraint rather than failing the query.
+func (s *Service) Select(q Query) ([]Offer, error) {
+	var (
+		cons *constraint.Expr
+		pref *constraint.Expr
+		err  error
+	)
+	if q.Constraint != "" {
+		if cons, err = constraint.Compile(q.Constraint); err != nil {
+			return nil, fmt.Errorf("trading: constraint: %w", err)
+		}
+	}
+	if q.Preference != "" {
+		if pref, err = constraint.Compile(q.Preference); err != nil {
+			return nil, fmt.Errorf("trading: preference: %w", err)
+		}
+	}
+	s.pruneExpired()
+
+	s.mu.RLock()
+	typed := s.byType[q.ServiceType]
+	candidates := make([]*Offer, 0, len(typed))
+	for _, o := range typed {
+		candidates = append(candidates, o)
+	}
+	s.mu.RUnlock()
+
+	// Deterministic base order (by ID sequence) before filtering/ranking.
+	sort.Slice(candidates, func(i, j int) bool {
+		return offerSeq(candidates[i].ID) < offerSeq(candidates[j].ID)
+	})
+
+	type ranked struct {
+		offer *Offer
+		score float64
+	}
+	var matches []ranked
+	for _, o := range candidates {
+		if cons != nil {
+			ok, err := cons.Eval(o.Properties)
+			if err != nil || !ok {
+				continue
+			}
+		}
+		score := 0.0
+		if pref != nil {
+			v, err := pref.EvalNumber(o.Properties)
+			if err == nil {
+				score = v
+			}
+		}
+		matches = append(matches, ranked{offer: o, score: score})
+	}
+	if pref != nil {
+		sort.SliceStable(matches, func(i, j int) bool {
+			return matches[i].score > matches[j].score
+		})
+	}
+	if q.Limit > 0 && len(matches) > q.Limit {
+		matches = matches[:q.Limit]
+	}
+	out := make([]Offer, 0, len(matches))
+	for _, m := range matches {
+		out = append(out, cloneOffer(m.offer))
+	}
+	return out, nil
+}
+
+func (s *Service) removeLocked(id string) {
+	o, ok := s.offers[id]
+	if !ok {
+		return
+	}
+	delete(s.offers, id)
+	if tm := s.byType[o.ServiceType]; tm != nil {
+		delete(tm, id)
+		if len(tm) == 0 {
+			delete(s.byType, o.ServiceType)
+		}
+	}
+}
+
+func (s *Service) pruneExpired() {
+	now := s.now()
+	if now.IsZero() {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id, o := range s.offers {
+		if !o.Expires.IsZero() && !o.Expires.After(now) {
+			s.removeLocked(id)
+		}
+	}
+}
+
+func cloneOffer(o *Offer) Offer {
+	c := *o
+	c.Properties = make(constraint.Properties, len(o.Properties))
+	for k, v := range o.Properties {
+		c.Properties[k] = v
+	}
+	return c
+}
+
+// offerSeq extracts the numeric suffix of an offer ID for stable ordering.
+func offerSeq(id string) int {
+	n := 0
+	for i := len("offer-"); i < len(id); i++ {
+		n = n*10 + int(id[i]-'0')
+	}
+	return n
+}

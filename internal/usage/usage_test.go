@@ -1,0 +1,280 @@
+package usage
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// monday is a weekday reference instant (2026-01-05 was a Monday).
+var monday = time.Date(2026, 1, 5, 0, 0, 0, 0, time.UTC)
+
+func at(day time.Time, hour, min int) time.Time {
+	return day.Add(time.Duration(hour)*time.Hour + time.Duration(min)*time.Minute)
+}
+
+func TestTraceDeterminism(t *testing.T) {
+	a := NewTrace(OfficeWorker, 42)
+	b := NewTrace(OfficeWorker, 42)
+	for h := 0; h < 24; h++ {
+		when := at(monday, h, 0)
+		if a.At(when) != b.At(when) {
+			t.Fatalf("traces with same seed diverge at %v", when)
+		}
+	}
+	c := NewTrace(OfficeWorker, 43)
+	same := true
+	for h := 0; h < 24; h++ {
+		when := at(monday, h, 2)
+		if a.At(when) != c.At(when) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestOfficeWorkerSchedule(t *testing.T) {
+	tr := NewTrace(OfficeWorker, 1)
+	// Count busy samples in each band over many seeds to be robust to noise.
+	busyFrac := func(hour int) float64 {
+		busy := 0
+		const n = 40
+		for s := 0; s < n; s++ {
+			trS := NewTrace(OfficeWorker, int64(s))
+			if trS.BusyAt(at(monday, hour, 7)) {
+				busy++
+			}
+		}
+		return float64(busy) / n
+	}
+	if f := busyFrac(10); f < 0.9 {
+		t.Fatalf("10:00 weekday busy fraction = %v, want ~1", f)
+	}
+	if f := busyFrac(15); f < 0.9 {
+		t.Fatalf("15:00 weekday busy fraction = %v, want ~1", f)
+	}
+	if f := busyFrac(3); f > 0.3 {
+		t.Fatalf("03:00 weekday busy fraction = %v, want ~0", f)
+	}
+	// Saturday: office worker absent all day.
+	saturday := monday.AddDate(0, 0, 5)
+	busyWeekend := 0
+	for h := 0; h < 24; h++ {
+		if tr.BusyAt(at(saturday, h, 7)) {
+			busyWeekend++
+		}
+	}
+	if busyWeekend > 6 {
+		t.Fatalf("office worker busy %d/24 hours on Saturday", busyWeekend)
+	}
+}
+
+func TestLunchDip(t *testing.T) {
+	// Averaged across seeds, 12:30 should be much quieter than 11:00.
+	var work, lunch float64
+	const n = 60
+	for s := 0; s < n; s++ {
+		tr := NewTrace(OfficeWorker, int64(s))
+		work += tr.At(at(monday, 11, 0)).CPU
+		lunch += tr.At(at(monday, 12, 30)).CPU
+	}
+	if lunch >= work/2 {
+		t.Fatalf("lunch CPU %v not clearly below work CPU %v", lunch/n, work/n)
+	}
+}
+
+func TestNightOwlWrapsMidnight(t *testing.T) {
+	busyFrac := func(day time.Time, hour int) float64 {
+		busy := 0
+		const n = 40
+		for s := 0; s < n; s++ {
+			tr := NewTrace(NightOwl, int64(s))
+			if tr.BusyAt(at(day, hour, 7)) {
+				busy++
+			}
+		}
+		return float64(busy) / n
+	}
+	if f := busyFrac(monday, 23); f < 0.9 {
+		t.Fatalf("night owl 23:00 busy fraction = %v", f)
+	}
+	if f := busyFrac(monday, 1); f < 0.9 {
+		t.Fatalf("night owl 01:00 busy fraction = %v (window must wrap)", f)
+	}
+	if f := busyFrac(monday, 12); f > 0.3 {
+		t.Fatalf("night owl 12:00 busy fraction = %v", f)
+	}
+}
+
+func TestAlwaysBusyAndMostlyIdle(t *testing.T) {
+	busyCount := func(p Profile) int {
+		tr := NewTrace(p, 9)
+		busy := 0
+		for i := 0; i < 7*24; i++ {
+			if tr.BusyAt(monday.Add(time.Duration(i) * time.Hour)) {
+				busy++
+			}
+		}
+		return busy
+	}
+	if c := busyCount(AlwaysBusy); c < 7*24*9/10 {
+		t.Fatalf("AlwaysBusy busy %d/168 hours", c)
+	}
+	if c := busyCount(MostlyIdle); c > 20 {
+		t.Fatalf("MostlyIdle busy %d/168 hours", c)
+	}
+}
+
+func TestActivityBounds(t *testing.T) {
+	f := func(seed int64, slotOffset uint16) bool {
+		for _, p := range Profiles() {
+			tr := NewTrace(p, seed)
+			a := tr.At(monday.Add(time.Duration(slotOffset) * Interval))
+			if a.CPU < 0 || a.CPU > 1 || a.RAM < 0 || a.RAM > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIdleUntil(t *testing.T) {
+	tr := NewTrace(AlwaysBusy, 1)
+	if d := tr.IdleUntil(at(monday, 10, 0), 8*time.Hour); d != 0 {
+		t.Fatalf("AlwaysBusy IdleUntil = %v, want 0", d)
+	}
+	idle := NewTrace(MostlyIdle, 1)
+	// Find an idle instant, then the span must be positive and a multiple
+	// of the scan step until horizon or a burst.
+	start := at(monday, 4, 0)
+	if idle.BusyAt(start) {
+		t.Skip("seed hit a burst at probe instant")
+	}
+	d := idle.IdleUntil(start, 4*time.Hour)
+	if d <= 0 || d > 4*time.Hour {
+		t.Fatalf("IdleUntil = %v", d)
+	}
+	// Office worker at 08:30 weekday: busy by 09:00+noise, so bounded.
+	office := NewTrace(OfficeWorker, 3)
+	if office.BusyAt(at(monday, 8, 30)) {
+		t.Skip("seed hit a burst at probe instant")
+	}
+	d = office.IdleUntil(at(monday, 8, 30), 12*time.Hour)
+	if d > time.Hour {
+		t.Fatalf("office IdleUntil from 08:30 = %v, want <= 1h", d)
+	}
+}
+
+func TestDayVectorShape(t *testing.T) {
+	tr := NewTrace(OfficeWorker, 5)
+	v := tr.DayVector(at(monday, 15, 33)) // any instant within the day
+	if len(v) != SlotsPerDay {
+		t.Fatalf("len = %d, want %d", len(v), SlotsPerDay)
+	}
+	// Working hours slots should exceed night slots on average.
+	avg := func(fromHour, toHour int) float64 {
+		sum, n := 0.0, 0
+		for i := fromHour * 12; i < toHour*12; i++ {
+			sum += v[i]
+			n++
+		}
+		return sum / float64(n)
+	}
+	if avg(9, 12) < 3*avg(2, 5) {
+		t.Fatalf("day vector lacks office shape: work=%v night=%v", avg(9, 12), avg(2, 5))
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	for _, p := range Profiles() {
+		got, err := ProfileByName(p.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Name != p.Name {
+			t.Fatalf("ProfileByName(%q) = %q", p.Name, got.Name)
+		}
+	}
+	if _, err := ProfileByName("ghost"); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}
+
+func TestBurstsHappenOffHours(t *testing.T) {
+	// Over many seeds and off-hours slots, at least some bursts must occur
+	// (the "idle node becomes busy without notice" behaviour).
+	bursts := 0
+	for s := 0; s < 50; s++ {
+		tr := NewTrace(OfficeWorker, int64(s))
+		for i := 0; i < SlotsPerDay/3; i++ { // 00:00-08:00
+			if tr.BusyAt(monday.Add(time.Duration(i) * Interval)) {
+				bursts++
+			}
+		}
+	}
+	if bursts == 0 {
+		t.Fatal("no surprise bursts in 50 seeds x 8 hours")
+	}
+}
+
+func TestWindowContains(t *testing.T) {
+	w := Window{StartHour: 9, EndHour: 17}
+	if !w.contains(9) || w.contains(17) || w.contains(3) {
+		t.Fatal("plain window containment wrong")
+	}
+	wrap := Window{StartHour: 22, EndHour: 2}
+	if !wrap.contains(23) || !wrap.contains(1) || wrap.contains(12) {
+		t.Fatal("wrapping window containment wrong")
+	}
+}
+
+func TestBusyThresholdConsistency(t *testing.T) {
+	a := Activity{CPU: BusyThreshold}
+	if !a.Busy() {
+		t.Fatal("threshold activity not busy")
+	}
+	b := Activity{CPU: BusyThreshold - 0.01}
+	if b.Busy() {
+		t.Fatal("below-threshold activity busy")
+	}
+}
+
+func TestHolidays(t *testing.T) {
+	p := usageProfileWithHolidays()
+	tr := NewTrace(p, 3)
+	// Find a weekday that is a holiday within the next 60 days and check
+	// the owner is absent during office hours.
+	foundHoliday, foundWorkday := false, false
+	for d := 0; d < 60; d++ {
+		day := monday.AddDate(0, 0, d)
+		if wd := day.Weekday(); wd == time.Saturday || wd == time.Sunday {
+			continue
+		}
+		at := day.Add(11 * time.Hour)
+		if tr.IsHoliday(at) {
+			foundHoliday = true
+			if tr.At(at).CPU > BusyThreshold+0.3 {
+				t.Fatalf("holiday %v has office-level activity %v", day, tr.At(at))
+			}
+		} else {
+			foundWorkday = true
+		}
+	}
+	if !foundHoliday || !foundWorkday {
+		t.Fatalf("holiday coverage: holiday=%v workday=%v", foundHoliday, foundWorkday)
+	}
+	// Profiles without HolidayEvery never report holidays.
+	plain := NewTrace(OfficeWorker, 3)
+	for d := 0; d < 30; d++ {
+		if plain.IsHoliday(monday.AddDate(0, 0, d)) {
+			t.Fatal("holiday on a profile without HolidayEvery")
+		}
+	}
+}
+
+func usageProfileWithHolidays() Profile { return OfficeWithHolidays }
