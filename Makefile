@@ -1,0 +1,36 @@
+GO ?= go
+
+# Seconds each fuzzer runs in the smoke target; CI uses the same knob.
+FUZZ_SMOKE_TIME ?= 30s
+
+.PHONY: all build test race vet lint fuzz-smoke fmt-check ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Custom analyzers (simclock, lockheld, orberr, nakedgo) plus stock go vet.
+lint:
+	$(GO) run ./cmd/integrade-lint ./...
+
+# Short fuzz runs over the two wire decoders. Any crasher fails the target.
+fuzz-smoke:
+	$(GO) test -run=^$$ -fuzz=FuzzCompile -fuzztime=$(FUZZ_SMOKE_TIME) ./internal/constraint
+	$(GO) test -run=^$$ -fuzz=FuzzReadFrame -fuzztime=$(FUZZ_SMOKE_TIME) ./internal/orb
+	$(GO) test -run=^$$ -fuzz=FuzzUnmarshal -fuzztime=$(FUZZ_SMOKE_TIME) ./internal/orb
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Everything CI runs, in the same order.
+ci: build fmt-check vet lint race fuzz-smoke

@@ -1,0 +1,77 @@
+// Command integrade-lint is the repo's multichecker: it runs InteGrade's
+// custom go/analysis-style analyzers (simclock, lockheld, orberr, nakedgo)
+// plus the stock `go vet` passes over the given package patterns and exits
+// non-zero on any finding.
+//
+// Usage:
+//
+//	go run ./cmd/integrade-lint [flags] [packages]
+//
+// With no patterns it checks ./... . Findings are suppressed by a
+// justifying comment on the offending line or the line above:
+//
+//	//lint:allow <analyzer> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+
+	"integrade/internal/lint"
+)
+
+func main() {
+	var (
+		novet = flag.Bool("novet", false, "skip the stock go vet passes")
+		list  = flag.Bool("list", false, "list the custom analyzers and exit")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: integrade-lint [flags] [packages]\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	exitCode := 0
+
+	pkgs, err := lint.Load("", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	diags, err := lint.Run(pkgs, lint.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		exitCode = 1
+	}
+
+	if !*novet {
+		vet := exec.Command("go", append([]string{"vet"}, patterns...)...)
+		vet.Stdout = os.Stdout
+		vet.Stderr = os.Stderr
+		if err := vet.Run(); err != nil {
+			exitCode = 1
+		}
+	}
+
+	os.Exit(exitCode)
+}

@@ -5,7 +5,15 @@ import (
 	"time"
 
 	"integrade/internal/orb"
+	"integrade/internal/sim"
 )
+
+// benchClock provides the latency timestamps for the wall-clock ORB
+// experiment. It defaults to the real clock — these are genuine hardware
+// measurements — but is injected sim.Clock-style so the simclock analyzer's
+// invariant (no direct time.Now in sim-driven packages) holds and tests can
+// substitute a virtual clock.
+var benchClock sim.Clock = sim.RealClock{}
 
 // Exp9ORB measures the lightweight ORB's invocation performance — latency
 // and throughput over the in-process and TCP transports for several payload
@@ -43,9 +51,9 @@ func Exp9ORB(seed int64) Table {
 				}
 			}
 			const budget = 150 * time.Millisecond
-			start := time.Now()
+			start := benchClock.Now()
 			ops := 0
-			for time.Since(start) < budget {
+			for benchClock.Now().Sub(start) < budget {
 				for i := 0; i < 50; i++ {
 					if _, err := inv.Invoke(ref, "echo", arg); err != nil {
 						return
@@ -53,7 +61,7 @@ func Exp9ORB(seed int64) Table {
 					ops++
 				}
 			}
-			elapsed := time.Since(start)
+			elapsed := benchClock.Now().Sub(start)
 			usPerOp := float64(elapsed.Microseconds()) / float64(ops)
 			mbps := float64(ops*2*payload) / elapsed.Seconds() / 1e6
 			t.AddRow(label, payload, ops, usPerOp, mbps)

@@ -47,6 +47,7 @@ type Runtime struct {
 	restoreStep     int
 	restoreStates   [][]byte
 
+	// statsMu guards lastStats.
 	statsMu   sync.Mutex
 	lastStats CostStats
 }
@@ -128,6 +129,8 @@ type world struct {
 	runtime *Runtime
 	procs   []*Proc
 
+	// mu guards arrived, leavers, gen, aborted, abortErr, superstep and
+	// stats; cond (which wraps mu) signals barrier generation changes.
 	mu        sync.Mutex
 	cond      *sync.Cond
 	arrived   int

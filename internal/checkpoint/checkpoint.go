@@ -79,6 +79,7 @@ func DecodeSnapshot(d *orb.Decoder) (Snapshot, error) {
 type Store struct {
 	now func() time.Time
 
+	// mu guards snaps and saves.
 	mu    sync.Mutex
 	snaps map[string]Snapshot
 	saves int

@@ -36,12 +36,13 @@ var DefaultPlatform = resource.Platform{Arch: "amd64", OS: "linux"}
 
 // Grid is a running InteGrade deployment.
 type Grid struct {
-	clock    sim.Clock
-	vclock   *sim.VirtualClock // nil when running on the wall clock
-	orb      *orb.ORB
-	rng      *sim.RNG
-	log      *slog.Logger
-	store    *checkpoint.Store
+	clock  sim.Clock
+	vclock *sim.VirtualClock // nil when running on the wall clock
+	orb    *orb.ORB
+	rng    *sim.RNG
+	log    *slog.Logger
+	store  *checkpoint.Store
+	// mu guards clusters, order and stopped.
 	mu       sync.Mutex
 	clusters map[string]*Cluster
 	order    []string
@@ -253,6 +254,7 @@ type Cluster struct {
 
 	updatePeriod time.Duration
 
+	// mu guards nodes, lrms and seq.
 	mu    sync.Mutex
 	nodes []*node.Node
 	lrms  []*lrm.LRM

@@ -91,6 +91,9 @@ type GRM struct {
 	maxAttempts  int
 	backboneMbps float64
 
+	// mu guards apps, seq, stats, stopped, started and timers. It must be
+	// released before any protocol RPC (Reserve/Execute/...): negotiation
+	// blocks on remote LRMs and may itself re-enter the GRM.
 	mu      sync.Mutex
 	apps    map[string]*appInfo
 	seq     int

@@ -22,6 +22,7 @@ const ObjectKey = "gupa"
 // Service stores the latest uploaded pattern per node. Safe for concurrent
 // use.
 type Service struct {
+	// mu guards patterns and uploads.
 	mu       sync.RWMutex
 	patterns map[string]lupa.Pattern
 	uploads  int

@@ -63,6 +63,7 @@ type Node struct {
 	local     *grm.GRM
 	inv       orb.Invoker
 
+	// mu guards selfRef, parent, children and routed.
 	mu       sync.Mutex
 	selfRef  orb.ObjectRef
 	parent   orb.ObjectRef // zero when root

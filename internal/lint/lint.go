@@ -1,0 +1,205 @@
+// Package lint implements InteGrade's custom static analyzers and the
+// driver that runs them. The analyzers encode repo-specific correctness
+// invariants that stock go vet cannot know about:
+//
+//   - simclock: sim-driven packages must take time through sim.Clock, never
+//     the time package directly, so the same protocol code is deterministic
+//     under the virtual clock;
+//   - lockheld: no ORB invocation, channel operation, or other blocking call
+//     may run while a sync.Mutex/RWMutex is held;
+//   - orberr: results of error-returning ORB-layer calls must not be
+//     silently discarded;
+//   - nakedgo: every goroutine spawned in non-test code must be tracked by a
+//     WaitGroup or a lifecycle channel so daemons shut down cleanly.
+//
+// The framework mirrors golang.org/x/tools/go/analysis (Analyzer, Pass,
+// Reportf) but is self-contained: packages are loaded offline through
+// `go list -export` and type-checked with the standard library's gc
+// export-data importer, so the linter needs no third-party dependencies.
+//
+// Findings can be suppressed with a justifying comment on the offending
+// line or the line directly above it:
+//
+//	//lint:allow <analyzer> <reason>
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check, mirroring go/analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and //lint:allow comments.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run reports diagnostics for one package via pass.Reportf.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzed package to an Analyzer.Run, mirroring
+// go/analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the finding in file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// All returns the full set of InteGrade analyzers.
+func All() []*Analyzer {
+	return []*Analyzer{SimClock, LockHeld, OrbErr, NakedGo}
+}
+
+// Run applies analyzers to pkgs, filters findings suppressed by
+// //lint:allow comments, and returns the surviving diagnostics sorted by
+// position.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		allowed := collectAllows(pkg)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Syntax,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				report: func(d Diagnostic) {
+					if !allowed.suppresses(d) {
+						diags = append(diags, d)
+					}
+				},
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// allowSet maps file -> line -> analyzer names allowed on that line.
+type allowSet map[string]map[int][]string
+
+// suppresses reports whether d is covered by an allow comment on its own
+// line or the line directly above.
+func (s allowSet) suppresses(d Diagnostic) bool {
+	lines := s[d.Pos.Filename]
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		for _, name := range lines[line] {
+			if name == d.Analyzer || name == "all" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// collectAllows scans a package's comments for //lint:allow directives.
+func collectAllows(pkg *Package) allowSet {
+	s := allowSet{}
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "lint:allow") {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, "lint:allow"))
+				if len(fields) == 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				if s[pos.Filename] == nil {
+					s[pos.Filename] = map[int][]string{}
+				}
+				s[pos.Filename][pos.Line] = append(s[pos.Filename][pos.Line], fields[0])
+			}
+		}
+	}
+	return s
+}
+
+// calleeFunc resolves the *types.Func a call expression invokes, or nil for
+// calls through function values, builtins and type conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// namedType returns the named type underlying t, unwrapping pointers and
+// aliases, or nil.
+func namedType(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	t = types.Unalias(t)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(ptr.Elem())
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// isSyncType reports whether t is sync.<name> (possibly behind a pointer).
+func isSyncType(t types.Type, name string) bool {
+	named := namedType(t)
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == name
+}

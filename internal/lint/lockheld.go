@@ -1,0 +1,273 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockHeld forbids blocking operations while a mutex is held.
+var LockHeld = &Analyzer{
+	Name: "lockheld",
+	Doc: "No ORB invocation (Invoke, protocol client stubs), channel send or " +
+		"receive, blocking select, WaitGroup.Wait or Sleep may execute while " +
+		"a sync.Mutex or sync.RWMutex is held. Such calls can block " +
+		"indefinitely on remote peers or scheduling, turning one slow node " +
+		"into a cluster-wide stall; GRM/LRM code must drop its lock before " +
+		"any negotiation round. The check is a per-function linear scan: " +
+		"lock state is tracked through Lock/Unlock pairs and defer Unlock, " +
+		"and nested blocks are scanned with a copy of the state. " +
+		"sync.Cond.Wait is exempt (it is specified to hold the lock).",
+	Run: runLockHeld,
+}
+
+func runLockHeld(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					scanLockBlock(pass, fn.Body.List, lockState{})
+				}
+			case *ast.FuncLit:
+				scanLockBlock(pass, fn.Body.List, lockState{})
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// lockState maps the printed receiver expression of a held mutex (e.g.
+// "c.mu") to the position where it was acquired.
+type lockState map[string]token.Pos
+
+func (s lockState) clone() lockState {
+	c := make(lockState, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// scanLockBlock linearly scans a statement list, updating held across
+// Lock/Unlock calls and reporting blocking operations while held is
+// non-empty. Nested blocks are scanned with a copy of the state, so a
+// conditional early-unlock-and-return does not leak into the fallthrough
+// path.
+func scanLockBlock(pass *Pass, stmts []ast.Stmt, held lockState) {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if recv, op, ok := mutexOp(pass, s.X); ok {
+				switch op {
+				case "Lock", "RLock":
+					held[recv] = s.Pos()
+				case "Unlock", "RUnlock":
+					delete(held, recv)
+				}
+				continue
+			}
+			checkBlocking(pass, s.X, held)
+		case *ast.DeferStmt:
+			// defer mu.Unlock() keeps the mutex held for the rest of the
+			// function body; any other defer runs outside the scanned
+			// region, so skip it.
+			continue
+		case *ast.GoStmt:
+			// The spawned goroutine does not run under the caller's lock.
+			continue
+		case *ast.SendStmt:
+			if len(held) > 0 {
+				pass.Reportf(s.Pos(), "channel send while holding %s", heldNames(held))
+			}
+			checkBlocking(pass, s.Value, held)
+		case *ast.IfStmt:
+			checkBlockingStmt(pass, s.Init, held)
+			checkBlocking(pass, s.Cond, held)
+			scanLockBlock(pass, s.Body.List, held.clone())
+			switch e := s.Else.(type) {
+			case *ast.BlockStmt:
+				scanLockBlock(pass, e.List, held.clone())
+			case *ast.IfStmt:
+				scanLockBlock(pass, []ast.Stmt{e}, held.clone())
+			}
+		case *ast.ForStmt:
+			checkBlockingStmt(pass, s.Init, held)
+			checkBlocking(pass, s.Cond, held)
+			checkBlockingStmt(pass, s.Post, held)
+			scanLockBlock(pass, s.Body.List, held.clone())
+		case *ast.RangeStmt:
+			checkBlocking(pass, s.X, held)
+			scanLockBlock(pass, s.Body.List, held.clone())
+		case *ast.SwitchStmt:
+			checkBlockingStmt(pass, s.Init, held)
+			checkBlocking(pass, s.Tag, held)
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					scanLockBlock(pass, cc.Body, held.clone())
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			checkBlockingStmt(pass, s.Init, held)
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					scanLockBlock(pass, cc.Body, held.clone())
+				}
+			}
+		case *ast.SelectStmt:
+			if len(held) > 0 && !selectHasDefault(s) {
+				pass.Reportf(s.Pos(), "blocking select while holding %s", heldNames(held))
+			}
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					scanLockBlock(pass, cc.Body, held.clone())
+				}
+			}
+		case *ast.BlockStmt:
+			scanLockBlock(pass, s.List, held.clone())
+		case *ast.LabeledStmt:
+			scanLockBlock(pass, []ast.Stmt{s.Stmt}, held)
+		default:
+			checkBlockingStmt(pass, stmt, held)
+		}
+	}
+}
+
+// checkBlockingStmt inspects a simple statement's expressions.
+func checkBlockingStmt(pass *Pass, stmt ast.Stmt, held lockState) {
+	if stmt == nil {
+		return
+	}
+	switch s := stmt.(type) {
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			checkBlocking(pass, e, held)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			checkBlocking(pass, e, held)
+		}
+	case *ast.ExprStmt:
+		checkBlocking(pass, s.X, held)
+	case *ast.DeclStmt:
+		ast.Inspect(s, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				checkBlocking(pass, e, held)
+				return false
+			}
+			return true
+		})
+	case *ast.IncDecStmt, *ast.BranchStmt, *ast.EmptyStmt:
+	default:
+		// Compound statements are handled by scanLockBlock.
+	}
+}
+
+// checkBlocking reports blocking operations inside expr. It does not
+// descend into function literals: a closure defined under the lock does
+// not run under it.
+func checkBlocking(pass *Pass, expr ast.Expr, held lockState) {
+	if expr == nil || len(held) == 0 {
+		return
+	}
+	ast.Inspect(expr, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if e.Op == token.ARROW {
+				pass.Reportf(e.Pos(), "channel receive while holding %s", heldNames(held))
+			}
+		case *ast.CallExpr:
+			classifyBlockingCall(pass, e, held)
+		}
+		return true
+	})
+}
+
+// classifyBlockingCall reports e if it is a known-blocking call.
+func classifyBlockingCall(pass *Pass, call *ast.CallExpr, held lockState) {
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	switch fn.Name() {
+	case "Invoke":
+		pass.Reportf(call.Pos(), "ORB invocation %s while holding %s", fn.Name(), heldNames(held))
+	case "Sleep":
+		pass.Reportf(call.Pos(), "Sleep while holding %s", heldNames(held))
+	case "Wait":
+		if sig != nil && sig.Recv() != nil && isSyncType(sig.Recv().Type(), "WaitGroup") {
+			pass.Reportf(call.Pos(), "WaitGroup.Wait while holding %s", heldNames(held))
+		}
+	default:
+		// Typed protocol stubs are remote invocations in disguise.
+		if sig != nil && sig.Recv() != nil {
+			if named := namedType(sig.Recv().Type()); named != nil {
+				obj := named.Obj()
+				if obj.Pkg() != nil && obj.Pkg().Path() == "integrade/internal/protocol" &&
+					len(obj.Name()) > 6 && obj.Name()[len(obj.Name())-6:] == "Client" &&
+					returnsError(fn) {
+					pass.Reportf(call.Pos(), "protocol RPC %s.%s while holding %s",
+						obj.Name(), fn.Name(), heldNames(held))
+				}
+			}
+		}
+	}
+}
+
+// mutexOp recognizes expr as a Lock/Unlock/RLock/RUnlock call on a
+// sync.Mutex or sync.RWMutex and returns the printed receiver.
+func mutexOp(pass *Pass, expr ast.Expr) (recv, op string, ok bool) {
+	call, isCall := ast.Unparen(expr).(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	fn, isFn := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), sel.Sel.Name, true
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// heldNames renders the currently held mutexes for diagnostics.
+func heldNames(held lockState) string {
+	names := make([]string, 0, len(held))
+	for k := range held {
+		names = append(names, k)
+	}
+	if len(names) == 1 {
+		return names[0]
+	}
+	// Deterministic order for multi-lock messages.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	out := names[0]
+	for _, n := range names[1:] {
+		out += ", " + n
+	}
+	return out
+}

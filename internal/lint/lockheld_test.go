@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"integrade/internal/lint"
+	"integrade/internal/lint/linttest"
+)
+
+func TestLockHeld(t *testing.T) {
+	linttest.Run(t, lint.LockHeld, "testdata/src/lockheld")
+}

@@ -1,0 +1,27 @@
+package lint_test
+
+import (
+	"testing"
+
+	"integrade/internal/lint"
+)
+
+// TestRepoIsClean is the repo's permanent quality gate: every package in
+// the module must pass every custom analyzer. New findings must be fixed or
+// explicitly suppressed with a justifying //lint:allow comment.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	pkgs, err := lint.Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	diags, err := lint.Run(pkgs, lint.All())
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

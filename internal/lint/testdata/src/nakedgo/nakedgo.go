@@ -1,0 +1,62 @@
+// Package nakedgofixture exercises the nakedgo analyzer: untracked `go`
+// statements must be flagged; WaitGroup-accounted spawns and functions with
+// a completion lifecycle (defer wg.Done / defer close) must pass.
+package nakedgofixture
+
+import "sync"
+
+type daemon struct {
+	wg   sync.WaitGroup
+	done chan struct{}
+}
+
+func (d *daemon) work() {}
+
+func (d *daemon) loop() { d.work() }
+
+func (d *daemon) bad() {
+	go d.loop() // want `untracked goroutine`
+	go func() { // want `untracked goroutine`
+		d.work()
+	}()
+}
+
+func (d *daemon) goodAddBeforeLiteral() {
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		d.work()
+	}()
+}
+
+func (d *daemon) goodAddBeforeNamed() {
+	d.wg.Add(1)
+	go d.tracked()
+}
+
+func (d *daemon) tracked() {
+	defer d.wg.Done()
+	d.work()
+}
+
+// run closes d.done on exit, so spawns of it are tracked by that lifecycle.
+func (d *daemon) run() {
+	defer close(d.done)
+	d.work()
+}
+
+func (d *daemon) goodNamedLifecycle() {
+	go d.run()
+}
+
+func (d *daemon) goodLiteralLifecycle() {
+	go func() {
+		defer close(d.done)
+		d.work()
+	}()
+}
+
+func (d *daemon) allowed() {
+	//lint:allow nakedgo best-effort notification, loss is acceptable
+	go d.work()
+}

@@ -51,6 +51,9 @@ type LRM struct {
 	updatePeriod time.Duration
 	reserveTTL   time.Duration
 
+	// mu guards taskApp, stats, stopped, timers and started. It must be
+	// released before GRM RPCs (Update/Notify), which block on the remote
+	// side.
 	mu      sync.Mutex
 	taskApp map[string]string // taskID -> appID
 	stats   Stats

@@ -79,6 +79,7 @@ type Analyzer struct {
 	rng  *sim.RNG
 	kmax int
 
+	// mu guards days, dayStarts, today, todayFill, todayStart and pattern.
 	mu         sync.Mutex
 	days       [][]float64 // completed day vectors
 	dayStarts  []time.Time // date of each completed day (parallel to days)

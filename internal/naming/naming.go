@@ -32,6 +32,7 @@ var (
 // Service is the in-memory naming directory. It is safe for concurrent use
 // and can be used directly (in-process) or through Servant/Client.
 type Service struct {
+	// mu guards bindings.
 	mu       sync.RWMutex
 	bindings map[string]orb.ObjectRef
 }

@@ -90,6 +90,7 @@ type Node struct {
 	policy ncc.Policy
 	ledger *resource.Ledger
 
+	// mu guards tasks, lastSync, downUntil and the accounting fields below.
 	mu        sync.Mutex
 	tasks     map[string]*Task
 	lastSync  time.Time

@@ -26,6 +26,7 @@ func (f ServantFunc) Dispatch(op string, req *Decoder) (*Encoder, error) {
 // OpMux is a Servant that routes operations by name, the common way to
 // implement multi-operation interfaces.
 type OpMux struct {
+	// mu guards ops.
 	mu  sync.RWMutex
 	ops map[string]ServantFunc
 }
@@ -58,6 +59,7 @@ func (m *OpMux) Dispatch(op string, req *Decoder) (*Encoder, error) {
 // Adapter is the object adapter: it owns the key → servant table of one ORB
 // server. It is safe for concurrent use.
 type Adapter struct {
+	// mu guards servants.
 	mu       sync.RWMutex
 	servants map[string]Servant
 }

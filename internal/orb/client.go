@@ -20,8 +20,12 @@ type Client struct {
 	dialTimeout time.Duration
 	callTimeout time.Duration
 
+	// mu guards conns.
 	mu    sync.Mutex
 	conns map[string]*clientConn
+	// wg tracks background teardown of superseded connections so Close can
+	// wait for every goroutine the client started.
+	wg sync.WaitGroup
 }
 
 var _ Invoker = (*Client)(nil)
@@ -72,7 +76,8 @@ func (c *Client) Invoke(ref ObjectRef, op string, arg []byte) ([]byte, error) {
 	}
 }
 
-// Close tears down all pooled connections.
+// Close tears down all pooled connections and waits for the client's
+// background goroutines to exit.
 func (c *Client) Close() {
 	c.mu.Lock()
 	conns := c.conns
@@ -81,6 +86,7 @@ func (c *Client) Close() {
 	for _, cc := range conns {
 		cc.close()
 	}
+	c.wg.Wait()
 }
 
 // conn returns the pooled connection for addr, dialing if absent. fresh
@@ -102,8 +108,13 @@ func (c *Client) conn(addr string) (*clientConn, bool, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if prev, ok := c.conns[addr]; ok && !prev.isDead() {
-		// Lost the race; use the winner.
-		go cc.close()
+		// Lost the race; use the winner and tear ours down in the
+		// background (close blocks until the read loop exits).
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			cc.close()
+		}()
 		return prev, false, nil
 	}
 	c.conns[addr] = cc
@@ -125,6 +136,9 @@ type clientConn struct {
 	conn   net.Conn
 	writer *bufio.Writer
 
+	// mu guards nextID, pending and dead, and serializes request frames
+	// onto writer. done is closed by readLoop on exit and is otherwise
+	// written only at construction.
 	mu      sync.Mutex
 	nextID  uint64
 	pending map[uint64]chan *frame

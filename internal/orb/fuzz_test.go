@@ -31,15 +31,30 @@ func FuzzReadFrame(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := bufio.NewReader(bytes.NewReader(data))
-		frame, err := readFrame(r)
+		parsed, err := readFrame(r)
 		if err != nil {
 			return
 		}
 		// A successfully parsed frame must have a sane kind.
-		switch frame.kind {
+		switch parsed.kind {
 		case msgRequest, msgReply, msgError:
 		default:
-			t.Fatalf("parsed frame with kind %d", frame.kind)
+			t.Fatalf("parsed frame with kind %d", parsed.kind)
+		}
+		// And must survive a write/read round trip unchanged.
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, parsed); err != nil {
+			t.Fatalf("re-encoding parsed frame: %v", err)
+		}
+		again, err := readFrame(bufio.NewReader(&buf))
+		if err != nil {
+			t.Fatalf("re-reading re-encoded frame: %v", err)
+		}
+		if again.kind != parsed.kind || again.reqID != parsed.reqID ||
+			again.key != parsed.key || again.op != parsed.op ||
+			again.code != parsed.code || again.msg != parsed.msg ||
+			!bytes.Equal(again.body, parsed.body) {
+			t.Fatalf("frame round trip mismatch: %+v != %+v", again, parsed)
 		}
 	})
 }

@@ -11,6 +11,7 @@ import (
 // A FaultPolicy may be installed to inject message loss and delivery errors
 // for failure-injection tests, emulating an unreliable network.
 type Loopback struct {
+	// mu guards adapters and fault.
 	mu       sync.RWMutex
 	adapters map[string]*Adapter
 	fault    FaultPolicy

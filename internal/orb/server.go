@@ -16,6 +16,8 @@ type Server struct {
 	listener net.Listener
 	log      *slog.Logger
 
+	// mu guards conns and closed. wg tracks the accept loop and every
+	// per-connection goroutine; Close waits on it after releasing mu.
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
 	closed bool
@@ -110,6 +112,8 @@ func (s *Server) serveConn(conn net.Conn) {
 	}()
 
 	var (
+		// writeMu serializes reply frames onto writer across the
+		// per-request goroutines.
 		writeMu sync.Mutex
 		reqWG   sync.WaitGroup
 	)

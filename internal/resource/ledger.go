@@ -32,6 +32,7 @@ type Reservation struct {
 //
 // Invariant: Reserved + Committed always fits Capacity, component-wise.
 type Ledger struct {
+	// mu guards capacity, committed, reserved and seq.
 	mu        sync.Mutex
 	capacity  Vector
 	committed Vector

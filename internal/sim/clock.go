@@ -59,6 +59,7 @@ func (RealClock) Sleep(d time.Duration) { time.Sleep(d) }
 // when Run, RunUntil or Step is called; scheduled events fire in timestamp
 // order (ties broken by scheduling order).
 type VirtualClock struct {
+	// mu guards now, queue and seq.
 	mu    sync.Mutex
 	now   time.Time
 	queue eventQueue

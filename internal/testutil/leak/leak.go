@@ -1,0 +1,145 @@
+// Package leak detects goroutines that outlive a test. It is a dependency-
+// free analogue of go.uber.org/goleak: it snapshots every goroutine stack,
+// filters the ones belonging to the runtime and the testing framework, and
+// retries over a grace window so goroutines that are already winding down
+// (connection teardown, timer callbacks) are not misreported.
+//
+// Wire it into a package with a TestMain:
+//
+//	func TestMain(m *testing.M) { leak.Main(m) }
+//
+// or check a single test with:
+//
+//	defer leak.VerifyNone(t)
+package leak
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// gracePeriod is how long a leaked-looking goroutine is given to exit
+// before it is reported. Teardown goroutines (ORB connection close, server
+// accept loops draining) legitimately need a few scheduler rounds.
+const gracePeriod = 2 * time.Second
+
+// ignoredSubstrings mark stacks that belong to the test framework or the
+// runtime rather than to code under test.
+var ignoredSubstrings = []string{
+	"testing.Main(",
+	"testing.tRunner(",
+	"testing.(*M).",
+	"testing.runTests(",
+	"testing.runFuzzing(",
+	"testing.fRunner(",
+	"runtime.goexit",
+	"os/signal.signal_recv",
+	"os/signal.loop",
+	"runtime.ReadTrace",
+	"runtime.ensureSigM",
+	// This package's own snapshot machinery.
+	"integrade/internal/testutil/leak.stacks",
+}
+
+// goroutine is one parsed stack-dump entry.
+type goroutine struct {
+	header string // "goroutine 12 [chan receive]:"
+	stack  string // full entry including header
+}
+
+// VerifyNone fails t if goroutines other than the test framework's are
+// still running once the grace window elapses. Call it via defer at the end
+// of a test, or from TestMain via Main.
+func VerifyNone(t testing.TB) {
+	t.Helper()
+	if leaked := wait(); len(leaked) > 0 {
+		t.Errorf("found %d leaked goroutine(s):\n%s", len(leaked), render(leaked))
+	}
+}
+
+// Main is a TestMain body with leak detection: it runs the package's tests
+// and, if they pass, fails the run when goroutines are left behind.
+func Main(m *testing.M) {
+	code := m.Run()
+	if code == 0 {
+		if leaked := wait(); len(leaked) > 0 {
+			fmt.Fprintf(os.Stderr, "leak: found %d leaked goroutine(s) after all tests:\n%s",
+				len(leaked), render(leaked))
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// wait polls with backoff until no leaked goroutines remain or the grace
+// period expires, returning the survivors.
+func wait() []goroutine {
+	deadline := time.Now().Add(gracePeriod)
+	delay := 1 * time.Millisecond
+	for {
+		leaked := leakedGoroutines()
+		if len(leaked) == 0 || time.Now().After(deadline) {
+			return leaked
+		}
+		time.Sleep(delay)
+		if delay < 100*time.Millisecond {
+			delay *= 2
+		}
+	}
+}
+
+// leakedGoroutines snapshots all stacks and filters the ignorable ones.
+func leakedGoroutines() []goroutine {
+	var leaked []goroutine
+	for _, g := range stacks() {
+		if !ignored(g) {
+			leaked = append(leaked, g)
+		}
+	}
+	return leaked
+}
+
+func ignored(g goroutine) bool {
+	for _, s := range ignoredSubstrings {
+		if strings.Contains(g.stack, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// stacks captures and parses every goroutine's stack.
+func stacks() []goroutine {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	var out []goroutine
+	for _, entry := range strings.Split(string(buf), "\n\n") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		header, _, _ := strings.Cut(entry, "\n")
+		out = append(out, goroutine{header: header, stack: entry})
+	}
+	return out
+}
+
+func render(gs []goroutine) string {
+	var b strings.Builder
+	for _, g := range gs {
+		b.WriteString(g.stack)
+		b.WriteString("\n\n")
+	}
+	return b.String()
+}

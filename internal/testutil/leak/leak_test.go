@@ -1,0 +1,53 @@
+package leak
+
+import (
+	"testing"
+)
+
+func TestMain(m *testing.M) { Main(m) }
+
+// recorder captures failures instead of failing the real test.
+type recorder struct {
+	testing.TB
+	failures int
+}
+
+func (r *recorder) Helper() {}
+
+func (r *recorder) Errorf(string, ...any) { r.failures++ }
+
+func TestVerifyNoneClean(t *testing.T) {
+	VerifyNone(t)
+}
+
+func TestVerifyNoneDetectsLeak(t *testing.T) {
+	block := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		<-block
+	}()
+	<-started
+
+	rec := &recorder{TB: t}
+	VerifyNone(rec)
+	if rec.failures == 0 {
+		t.Error("VerifyNone did not report a blocked goroutine")
+	}
+
+	// Unblock and confirm the report clears.
+	close(block)
+	VerifyNone(t)
+}
+
+func TestStacksParsesSelf(t *testing.T) {
+	gs := stacks()
+	if len(gs) == 0 {
+		t.Fatal("no goroutines parsed")
+	}
+	for _, g := range gs {
+		if g.header == "" || g.stack == "" {
+			t.Fatalf("malformed goroutine entry: %+v", g)
+		}
+	}
+}

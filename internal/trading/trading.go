@@ -56,6 +56,7 @@ type Query struct {
 
 // Service is the in-memory trader. Safe for concurrent use.
 type Service struct {
+	// mu guards offers, byType and seq.
 	mu     sync.RWMutex
 	offers map[string]*Offer // by ID
 	byType map[string]map[string]*Offer
