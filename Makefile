@@ -3,7 +3,7 @@ GO ?= go
 # Seconds each fuzzer runs in the smoke target; CI uses the same knob.
 FUZZ_SMOKE_TIME ?= 30s
 
-.PHONY: all build test race vet lint fuzz-smoke fmt-check ci
+.PHONY: all build test race vet lint interproc-lint fuzz-smoke fmt-check ci
 
 all: build
 
@@ -19,9 +19,14 @@ race:
 vet:
 	$(GO) vet ./...
 
-# Custom analyzers (simclock, lockheld, orberr, nakedgo) plus stock go vet.
+# All custom analyzers (per-package + interprocedural) plus stock go vet.
 lint:
 	$(GO) run ./cmd/integrade-lint ./...
+
+# Just the call-graph analyzers (rpccycle, maporder, lockheld-transitive),
+# machine-readable: one JSON finding per line plus a summary line.
+interproc-lint:
+	$(GO) run ./cmd/integrade-lint -novet -analyzers interproc -json ./...
 
 # Short fuzz runs over the two wire decoders. Any crasher fails the target.
 fuzz-smoke:
@@ -33,4 +38,4 @@ fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 # Everything CI runs, in the same order.
-ci: build fmt-check vet lint race fuzz-smoke
+ci: build fmt-check vet lint interproc-lint race fuzz-smoke

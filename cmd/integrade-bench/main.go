@@ -48,7 +48,9 @@ func run() error {
 		start := time.Now()
 		table := exp.Run(*seed)
 		fmt.Println(table.String())
-		fmt.Printf("(%s completed in %v)\n\n", exp.ID, time.Since(start).Round(time.Millisecond))
+		// Wall-clock telemetry goes to stderr so stdout — the tables — is
+		// byte-identical across runs with the same seed.
+		fmt.Fprintf(os.Stderr, "(%s completed in %v)\n", exp.ID, time.Since(start).Round(time.Millisecond))
 		ran++
 	}
 	if ran == 0 {

@@ -1,7 +1,8 @@
 // Command integrade-lint is the repo's multichecker: it runs InteGrade's
-// custom go/analysis-style analyzers (simclock, lockheld, orberr, nakedgo)
-// plus the stock `go vet` passes over the given package patterns and exits
-// non-zero on any finding.
+// custom go/analysis-style analyzers — the per-package checks (simclock,
+// lockheld, orberr, nakedgo) and the interprocedural call-graph stage
+// (rpccycle, maporder, lockheld-transitive) — plus the stock `go vet`
+// passes over the given package patterns and exits non-zero on any finding.
 //
 // Usage:
 //
@@ -11,21 +12,44 @@
 // justifying comment on the offending line or the line above:
 //
 //	//lint:allow <analyzer> <reason>
+//
+// With -json each finding is printed as one JSON object per line, followed
+// by a summary object; the human-readable format stays the default.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"os/exec"
+	"strings"
 
 	"integrade/internal/lint"
 )
 
+// jsonFinding is the machine-readable form of one diagnostic.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+// jsonSummary is the trailing line of -json output.
+type jsonSummary struct {
+	Summary  bool `json:"summary"`
+	Findings int  `json:"findings"`
+	Packages int  `json:"packages"`
+}
+
 func main() {
 	var (
-		novet = flag.Bool("novet", false, "skip the stock go vet passes")
-		list  = flag.Bool("list", false, "list the custom analyzers and exit")
+		novet    = flag.Bool("novet", false, "skip the stock go vet passes")
+		list     = flag.Bool("list", false, "list the custom analyzers and exit")
+		jsonOut  = flag.Bool("json", false, "print one JSON finding per line plus a summary line")
+		selected = flag.String("analyzers", "", "comma-separated analyzer names to run (default: all); 'interproc' selects the call-graph analyzers")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: integrade-lint [flags] [packages]\n\n")
@@ -35,9 +59,15 @@ func main() {
 
 	if *list {
 		for _, a := range lint.All() {
-			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-19s %s\n", a.Name, a.Doc)
 		}
 		return
+	}
+
+	analyzers, err := selectAnalyzers(*selected)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 
 	patterns := flag.Args()
@@ -52,13 +82,27 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	diags, err := lint.Run(pkgs, lint.All())
+	diags, err := lint.Run(pkgs, analyzers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		for _, d := range diags {
+			enc.Encode(jsonFinding{
+				Analyzer: d.Analyzer,
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Message:  d.Message,
+			})
+		}
+		enc.Encode(jsonSummary{Summary: true, Findings: len(diags), Packages: len(pkgs)})
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		exitCode = 1
@@ -74,4 +118,37 @@ func main() {
 	}
 
 	os.Exit(exitCode)
+}
+
+// selectAnalyzers resolves the -analyzers flag: empty means all, "interproc"
+// expands to the call-graph analyzers, anything else is a comma-separated
+// list of analyzer names.
+func selectAnalyzers(spec string) ([]*lint.Analyzer, error) {
+	if spec == "" {
+		return lint.All(), nil
+	}
+	byName := map[string]*lint.Analyzer{}
+	for _, a := range lint.All() {
+		byName[a.Name] = a
+	}
+	var out []*lint.Analyzer
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if name == "interproc" {
+			out = append(out, lint.Interprocedural()...)
+			continue
+		}
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("integrade-lint: unknown analyzer %q (use -list)", name)
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("integrade-lint: -analyzers %q selects nothing", spec)
+	}
+	return out, nil
 }

@@ -156,6 +156,34 @@ func TestAblationMaxAttemptsShape(t *testing.T) {
 	}
 }
 
+// TestExperimentOutputByteStable renders selected sim-driven experiments
+// twice with the same seed and requires the full table output — the exact
+// bytes integrade-bench prints — to be identical. E8 routes through the
+// hierarchy, whose child iteration order is exactly what the maporder
+// analyzer guards; a regression there shows up here as a diff.
+func TestExperimentOutputByteStable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full experiments twice; skipped in -short mode")
+	}
+	for _, id := range []string{"E2", "E8", "A2"} {
+		var run func(int64) Table
+		for _, e := range All() {
+			if e.ID == id {
+				run = e.Run
+			}
+		}
+		if run == nil {
+			t.Fatalf("experiment %s not registered", id)
+		}
+		first := run(42).String()
+		second := run(42).String()
+		if first != second {
+			t.Errorf("%s output is not byte-stable across runs:\n--- first\n%s\n--- second\n%s",
+				id, first, second)
+		}
+	}
+}
+
 func TestExperimentsDeterministic(t *testing.T) {
 	// Simulated experiments must be bit-identical for a fixed seed (E9 is
 	// wall-clock and exempt).

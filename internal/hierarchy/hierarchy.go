@@ -125,8 +125,8 @@ func (n *Node) Summary() Summary {
 		TotalMIPS:       local.TotalMIPS,
 		PendingTasks:    local.PendingTasks,
 	}
-	for _, ref := range n.childRefs() {
-		child, err := querySummary(n.inv, ref)
+	for _, c := range n.childRefList() {
+		child, err := querySummary(n.inv, c.ref)
 		if err != nil {
 			continue
 		}
@@ -142,13 +142,23 @@ func (n *Node) Summary() Summary {
 	return agg
 }
 
-func (n *Node) childRefs() map[string]orb.ObjectRef {
+// childRef is one linked child subtree.
+type childRef struct {
+	id  string
+	ref orb.ObjectRef
+}
+
+// childRefList snapshots the children in sorted cluster-ID order, so that
+// every traversal queries (and therefore contacts) subtrees in the same
+// deterministic sequence regardless of map iteration order.
+func (n *Node) childRefList() []childRef {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	out := make(map[string]orb.ObjectRef, len(n.children))
+	out := make([]childRef, 0, len(n.children))
 	for id, ref := range n.children {
-		out[id] = ref
+		out = append(out, childRef{id: id, ref: ref})
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
 	return out
 }
 
@@ -196,15 +206,15 @@ func (n *Node) route(spec protocol.ApplicationSpec, ttl int, excludeChild string
 		sum Summary
 	}
 	var kids []childSummary
-	for id, ref := range n.childRefs() {
-		if id == excludeChild {
+	for _, c := range n.childRefList() {
+		if c.id == excludeChild {
 			continue
 		}
-		sum, err := querySummary(n.inv, ref)
+		sum, err := querySummary(n.inv, c.ref)
 		if err != nil {
 			continue
 		}
-		kids = append(kids, childSummary{id: id, ref: ref, sum: sum})
+		kids = append(kids, childSummary{id: c.id, ref: c.ref, sum: sum})
 	}
 	sort.Slice(kids, func(i, j int) bool {
 		if kids[i].sum.FreeMIPS != kids[j].sum.FreeMIPS {
@@ -296,6 +306,11 @@ func decodeSummary(d *orb.Decoder) (Summary, error) {
 }
 
 func querySummary(inv orb.Invoker, ref orb.ObjectRef) (Summary, error) {
+	// The summary aggregation recurses over the deployment hierarchy, which
+	// links form as a tree (AddChild/SetParent pair parents with children);
+	// the recursion descends strictly child-ward, so it terminates at the
+	// leaves and never re-enters a node already on the call path.
+	//lint:allow rpccycle summary recursion descends the acyclic deployment tree
 	reply, err := inv.Invoke(ref, opSummary, nil)
 	if err != nil {
 		return Summary{}, err
@@ -308,6 +323,10 @@ func routeRemote(inv orb.Invoker, ref orb.ObjectRef, spec protocol.ApplicationSp
 	spec.Encode(&e)
 	e.PutInt(ttl)
 	e.PutString(exclude)
+	// Routing can climb as well as descend, so the hierarchy links alone do
+	// not rule out revisiting a node — the explicit TTL does: every remote
+	// hop forwards ttl-1 and route() refuses ttl <= 0, bounding any cycle.
+	//lint:allow rpccycle route recursion is hop-bounded by the TTL argument
 	reply, err := inv.Invoke(ref, opRoute, e.Bytes())
 	if err != nil {
 		return RouteResult{}, err

@@ -32,7 +32,9 @@ import (
 	"strings"
 )
 
-// Analyzer is one static check, mirroring go/analysis.Analyzer.
+// Analyzer is one static check, mirroring go/analysis.Analyzer. Exactly one
+// of Run (per-package, intraprocedural) and RunRepo (whole-program,
+// interprocedural) is set.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and //lint:allow comments.
 	Name string
@@ -40,6 +42,10 @@ type Analyzer struct {
 	Doc string
 	// Run reports diagnostics for one package via pass.Reportf.
 	Run func(*Pass) error
+	// RunRepo reports diagnostics over the whole loaded package set at
+	// once, with the shared call graph available. Set instead of Run for
+	// interprocedural analyzers.
+	RunRepo func(*RepoPass) error
 }
 
 // Pass carries one analyzed package to an Analyzer.Run, mirroring
@@ -63,6 +69,26 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// RepoPass carries the whole loaded package set plus the shared call graph
+// to an interprocedural Analyzer.RunRepo.
+type RepoPass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkgs     []*Package
+	Graph    *CallGraph
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *RepoPass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
 // Diagnostic is one finding.
 type Diagnostic struct {
 	Pos      token.Position
@@ -75,34 +101,74 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
 }
 
-// All returns the full set of InteGrade analyzers.
+// All returns the full set of InteGrade analyzers: the per-package checks
+// of PR 1 plus the interprocedural stage (rpccycle, maporder,
+// lockheld-transitive).
 func All() []*Analyzer {
-	return []*Analyzer{SimClock, LockHeld, OrbErr, NakedGo}
+	return []*Analyzer{SimClock, LockHeld, OrbErr, NakedGo, RPCCycle, MapOrder, LockHeldTransitive}
+}
+
+// Interprocedural returns only the call-graph-based analyzers.
+func Interprocedural() []*Analyzer {
+	var out []*Analyzer
+	for _, a := range All() {
+		if a.RunRepo != nil {
+			out = append(out, a)
+		}
+	}
+	return out
 }
 
 // Run applies analyzers to pkgs, filters findings suppressed by
 // //lint:allow comments, and returns the surviving diagnostics sorted by
-// position.
+// position. Per-package analyzers run once per package; interprocedural
+// analyzers run once over the whole set, sharing a single call graph.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
+	allowed := allowSet{}
 	for _, pkg := range pkgs {
-		allowed := collectAllows(pkg)
+		collectAllows(pkg, allowed)
+	}
+	report := func(d Diagnostic) {
+		if !allowed.suppresses(d) {
+			diags = append(diags, d)
+		}
+	}
+	for _, pkg := range pkgs {
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{
 				Analyzer:  a,
 				Fset:      pkg.Fset,
 				Files:     pkg.Syntax,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.TypesInfo,
-				report: func(d Diagnostic) {
-					if !allowed.suppresses(d) {
-						diags = append(diags, d)
-					}
-				},
+				report:    report,
 			}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.PkgPath, err)
 			}
+		}
+	}
+	var graph *CallGraph
+	for _, a := range analyzers {
+		if a.RunRepo == nil || len(pkgs) == 0 {
+			continue
+		}
+		if graph == nil {
+			graph = BuildCallGraph(pkgs)
+		}
+		pass := &RepoPass{
+			Analyzer: a,
+			Fset:     pkgs[0].Fset,
+			Pkgs:     pkgs,
+			Graph:    graph,
+			report:   report,
+		}
+		if err := a.RunRepo(pass); err != nil {
+			return nil, fmt.Errorf("lint: %s: %w", a.Name, err)
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {
@@ -138,30 +204,35 @@ func (s allowSet) suppresses(d Diagnostic) bool {
 	return false
 }
 
-// collectAllows scans a package's comments for //lint:allow directives.
-func collectAllows(pkg *Package) allowSet {
-	s := allowSet{}
+// collectAllows scans a package's comments for //lint:allow directives and
+// adds them to s. The dedicated //lint:ordered directive — documenting that
+// a map iteration is intentionally order-insensitive or ordered by other
+// means — is recorded as an allowance for the maporder analyzer.
+func collectAllows(pkg *Package, s allowSet) {
+	add := func(pos token.Position, name string) {
+		if s[pos.Filename] == nil {
+			s[pos.Filename] = map[int][]string{}
+		}
+		s[pos.Filename][pos.Line] = append(s[pos.Filename][pos.Line], name)
+	}
 	for _, f := range pkg.Syntax {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				text := strings.TrimPrefix(c.Text, "//")
 				text = strings.TrimSpace(text)
-				if !strings.HasPrefix(text, "lint:allow") {
-					continue
+				switch {
+				case strings.HasPrefix(text, "lint:allow"):
+					fields := strings.Fields(strings.TrimPrefix(text, "lint:allow"))
+					if len(fields) == 0 {
+						continue
+					}
+					add(pkg.Fset.Position(c.Pos()), fields[0])
+				case strings.HasPrefix(text, "lint:ordered"):
+					add(pkg.Fset.Position(c.Pos()), "maporder")
 				}
-				fields := strings.Fields(strings.TrimPrefix(text, "lint:allow"))
-				if len(fields) == 0 {
-					continue
-				}
-				pos := pkg.Fset.Position(c.Pos())
-				if s[pos.Filename] == nil {
-					s[pos.Filename] = map[int][]string{}
-				}
-				s[pos.Filename][pos.Line] = append(s[pos.Filename][pos.Line], fields[0])
 			}
 		}
 	}
-	return s
 }
 
 // calleeFunc resolves the *types.Func a call expression invokes, or nil for

@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"sort"
 )
 
 // LockHeld forbids blocking operations while a mutex is held.
@@ -17,25 +18,58 @@ var LockHeld = &Analyzer{
 		"any negotiation round. The check is a per-function linear scan: " +
 		"lock state is tracked through Lock/Unlock pairs and defer Unlock, " +
 		"and nested blocks are scanned with a copy of the state. " +
-		"sync.Cond.Wait is exempt (it is specified to hold the lock).",
+		"sync.Cond.Wait is exempt (it is specified to hold the lock). " +
+		"Blocking reached through helper calls is the job of the " +
+		"lockheld-transitive analyzer.",
 	Run: runLockHeld,
 }
 
 func runLockHeld(pass *Pass) error {
-	for _, f := range pass.Files {
+	sc := &lockScanner{
+		info: pass.TypesInfo,
+		onBlocking: func(pos token.Pos, desc string, held lockState) {
+			pass.Reportf(pos, "%s while holding %s", desc, heldNames(held))
+		},
+		onCall: func(call *ast.CallExpr, held lockState) {
+			if desc, _ := directBlockingDesc(pass.TypesInfo, call); desc != "" {
+				pass.Reportf(call.Pos(), "%s while holding %s", desc, heldNames(held))
+			}
+		},
+	}
+	scanPackageLocks(pass.Files, sc)
+	return nil
+}
+
+// scanPackageLocks applies the scanner to every function body in files.
+func scanPackageLocks(files []*ast.File, sc *lockScanner) {
+	for _, f := range files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch fn := n.(type) {
 			case *ast.FuncDecl:
 				if fn.Body != nil {
-					scanLockBlock(pass, fn.Body.List, lockState{})
+					sc.scan(fn.Body.List, lockState{})
 				}
 			case *ast.FuncLit:
-				scanLockBlock(pass, fn.Body.List, lockState{})
+				sc.scan(fn.Body.List, lockState{})
 			}
 			return true
 		})
 	}
-	return nil
+}
+
+// lockScanner is the shared lock-state walk used by lockheld (direct
+// blocking operations) and lockheld-transitive (summary-based blocking
+// through helper calls). It tracks which mutexes are held through a linear
+// scan and hands every blocking construct / call expression reached under a
+// lock to its callbacks.
+type lockScanner struct {
+	info *types.Info
+	// onBlocking receives syntactic blocking constructs (channel send and
+	// receive, blocking select) reached while held is non-empty.
+	onBlocking func(pos token.Pos, desc string, held lockState)
+	// onCall receives every call expression reached while held is
+	// non-empty.
+	onCall func(call *ast.CallExpr, held lockState)
 }
 
 // lockState maps the printed receiver expression of a held mutex (e.g.
@@ -50,16 +84,15 @@ func (s lockState) clone() lockState {
 	return c
 }
 
-// scanLockBlock linearly scans a statement list, updating held across
-// Lock/Unlock calls and reporting blocking operations while held is
-// non-empty. Nested blocks are scanned with a copy of the state, so a
-// conditional early-unlock-and-return does not leak into the fallthrough
-// path.
-func scanLockBlock(pass *Pass, stmts []ast.Stmt, held lockState) {
+// scan linearly scans a statement list, updating held across Lock/Unlock
+// calls and reporting blocking operations while held is non-empty. Nested
+// blocks are scanned with a copy of the state, so a conditional
+// early-unlock-and-return does not leak into the fallthrough path.
+func (sc *lockScanner) scan(stmts []ast.Stmt, held lockState) {
 	for _, stmt := range stmts {
 		switch s := stmt.(type) {
 		case *ast.ExprStmt:
-			if recv, op, ok := mutexOp(pass, s.X); ok {
+			if recv, op, ok := mutexOp(sc.info, s.X); ok {
 				switch op {
 				case "Lock", "RLock":
 					held[recv] = s.Pos()
@@ -68,7 +101,7 @@ func scanLockBlock(pass *Pass, stmts []ast.Stmt, held lockState) {
 				}
 				continue
 			}
-			checkBlocking(pass, s.X, held)
+			sc.checkExpr(s.X, held)
 		case *ast.DeferStmt:
 			// defer mu.Unlock() keeps the mutex held for the rest of the
 			// function body; any other defer runs outside the scanned
@@ -79,95 +112,95 @@ func scanLockBlock(pass *Pass, stmts []ast.Stmt, held lockState) {
 			continue
 		case *ast.SendStmt:
 			if len(held) > 0 {
-				pass.Reportf(s.Pos(), "channel send while holding %s", heldNames(held))
+				sc.onBlocking(s.Pos(), "channel send", held)
 			}
-			checkBlocking(pass, s.Value, held)
+			sc.checkExpr(s.Value, held)
 		case *ast.IfStmt:
-			checkBlockingStmt(pass, s.Init, held)
-			checkBlocking(pass, s.Cond, held)
-			scanLockBlock(pass, s.Body.List, held.clone())
+			sc.checkStmt(s.Init, held)
+			sc.checkExpr(s.Cond, held)
+			sc.scan(s.Body.List, held.clone())
 			switch e := s.Else.(type) {
 			case *ast.BlockStmt:
-				scanLockBlock(pass, e.List, held.clone())
+				sc.scan(e.List, held.clone())
 			case *ast.IfStmt:
-				scanLockBlock(pass, []ast.Stmt{e}, held.clone())
+				sc.scan([]ast.Stmt{e}, held.clone())
 			}
 		case *ast.ForStmt:
-			checkBlockingStmt(pass, s.Init, held)
-			checkBlocking(pass, s.Cond, held)
-			checkBlockingStmt(pass, s.Post, held)
-			scanLockBlock(pass, s.Body.List, held.clone())
+			sc.checkStmt(s.Init, held)
+			sc.checkExpr(s.Cond, held)
+			sc.checkStmt(s.Post, held)
+			sc.scan(s.Body.List, held.clone())
 		case *ast.RangeStmt:
-			checkBlocking(pass, s.X, held)
-			scanLockBlock(pass, s.Body.List, held.clone())
+			sc.checkExpr(s.X, held)
+			sc.scan(s.Body.List, held.clone())
 		case *ast.SwitchStmt:
-			checkBlockingStmt(pass, s.Init, held)
-			checkBlocking(pass, s.Tag, held)
+			sc.checkStmt(s.Init, held)
+			sc.checkExpr(s.Tag, held)
 			for _, c := range s.Body.List {
 				if cc, ok := c.(*ast.CaseClause); ok {
-					scanLockBlock(pass, cc.Body, held.clone())
+					sc.scan(cc.Body, held.clone())
 				}
 			}
 		case *ast.TypeSwitchStmt:
-			checkBlockingStmt(pass, s.Init, held)
+			sc.checkStmt(s.Init, held)
 			for _, c := range s.Body.List {
 				if cc, ok := c.(*ast.CaseClause); ok {
-					scanLockBlock(pass, cc.Body, held.clone())
+					sc.scan(cc.Body, held.clone())
 				}
 			}
 		case *ast.SelectStmt:
 			if len(held) > 0 && !selectHasDefault(s) {
-				pass.Reportf(s.Pos(), "blocking select while holding %s", heldNames(held))
+				sc.onBlocking(s.Pos(), "blocking select", held)
 			}
 			for _, c := range s.Body.List {
 				if cc, ok := c.(*ast.CommClause); ok {
-					scanLockBlock(pass, cc.Body, held.clone())
+					sc.scan(cc.Body, held.clone())
 				}
 			}
 		case *ast.BlockStmt:
-			scanLockBlock(pass, s.List, held.clone())
+			sc.scan(s.List, held.clone())
 		case *ast.LabeledStmt:
-			scanLockBlock(pass, []ast.Stmt{s.Stmt}, held)
+			sc.scan([]ast.Stmt{s.Stmt}, held)
 		default:
-			checkBlockingStmt(pass, stmt, held)
+			sc.checkStmt(stmt, held)
 		}
 	}
 }
 
-// checkBlockingStmt inspects a simple statement's expressions.
-func checkBlockingStmt(pass *Pass, stmt ast.Stmt, held lockState) {
+// checkStmt inspects a simple statement's expressions.
+func (sc *lockScanner) checkStmt(stmt ast.Stmt, held lockState) {
 	if stmt == nil {
 		return
 	}
 	switch s := stmt.(type) {
 	case *ast.AssignStmt:
 		for _, e := range s.Rhs {
-			checkBlocking(pass, e, held)
+			sc.checkExpr(e, held)
 		}
 	case *ast.ReturnStmt:
 		for _, e := range s.Results {
-			checkBlocking(pass, e, held)
+			sc.checkExpr(e, held)
 		}
 	case *ast.ExprStmt:
-		checkBlocking(pass, s.X, held)
+		sc.checkExpr(s.X, held)
 	case *ast.DeclStmt:
 		ast.Inspect(s, func(n ast.Node) bool {
 			if e, ok := n.(ast.Expr); ok {
-				checkBlocking(pass, e, held)
+				sc.checkExpr(e, held)
 				return false
 			}
 			return true
 		})
 	case *ast.IncDecStmt, *ast.BranchStmt, *ast.EmptyStmt:
 	default:
-		// Compound statements are handled by scanLockBlock.
+		// Compound statements are handled by scan.
 	}
 }
 
-// checkBlocking reports blocking operations inside expr. It does not
-// descend into function literals: a closure defined under the lock does
-// not run under it.
-func checkBlocking(pass *Pass, expr ast.Expr, held lockState) {
+// checkExpr reports blocking operations inside expr. It does not descend
+// into function literals: a closure defined under the lock does not run
+// under it.
+func (sc *lockScanner) checkExpr(expr ast.Expr, held lockState) {
 	if expr == nil || len(held) == 0 {
 		return
 	}
@@ -177,50 +210,18 @@ func checkBlocking(pass *Pass, expr ast.Expr, held lockState) {
 			return false
 		case *ast.UnaryExpr:
 			if e.Op == token.ARROW {
-				pass.Reportf(e.Pos(), "channel receive while holding %s", heldNames(held))
+				sc.onBlocking(e.Pos(), "channel receive", held)
 			}
 		case *ast.CallExpr:
-			classifyBlockingCall(pass, e, held)
+			sc.onCall(e, held)
 		}
 		return true
 	})
 }
 
-// classifyBlockingCall reports e if it is a known-blocking call.
-func classifyBlockingCall(pass *Pass, call *ast.CallExpr, held lockState) {
-	fn := calleeFunc(pass.TypesInfo, call)
-	if fn == nil {
-		return
-	}
-	sig, _ := fn.Type().(*types.Signature)
-	switch fn.Name() {
-	case "Invoke":
-		pass.Reportf(call.Pos(), "ORB invocation %s while holding %s", fn.Name(), heldNames(held))
-	case "Sleep":
-		pass.Reportf(call.Pos(), "Sleep while holding %s", heldNames(held))
-	case "Wait":
-		if sig != nil && sig.Recv() != nil && isSyncType(sig.Recv().Type(), "WaitGroup") {
-			pass.Reportf(call.Pos(), "WaitGroup.Wait while holding %s", heldNames(held))
-		}
-	default:
-		// Typed protocol stubs are remote invocations in disguise.
-		if sig != nil && sig.Recv() != nil {
-			if named := namedType(sig.Recv().Type()); named != nil {
-				obj := named.Obj()
-				if obj.Pkg() != nil && obj.Pkg().Path() == "integrade/internal/protocol" &&
-					len(obj.Name()) > 6 && obj.Name()[len(obj.Name())-6:] == "Client" &&
-					returnsError(fn) {
-					pass.Reportf(call.Pos(), "protocol RPC %s.%s while holding %s",
-						obj.Name(), fn.Name(), heldNames(held))
-				}
-			}
-		}
-	}
-}
-
 // mutexOp recognizes expr as a Lock/Unlock/RLock/RUnlock call on a
 // sync.Mutex or sync.RWMutex and returns the printed receiver.
-func mutexOp(pass *Pass, expr ast.Expr) (recv, op string, ok bool) {
+func mutexOp(info *types.Info, expr ast.Expr) (recv, op string, ok bool) {
 	call, isCall := ast.Unparen(expr).(*ast.CallExpr)
 	if !isCall {
 		return "", "", false
@@ -234,7 +235,7 @@ func mutexOp(pass *Pass, expr ast.Expr) (recv, op string, ok bool) {
 	default:
 		return "", "", false
 	}
-	fn, isFn := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	fn, isFn := info.Uses[sel.Sel].(*types.Func)
 	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
 		return "", "", false
 	}
@@ -256,15 +257,7 @@ func heldNames(held lockState) string {
 	for k := range held {
 		names = append(names, k)
 	}
-	if len(names) == 1 {
-		return names[0]
-	}
-	// Deterministic order for multi-lock messages.
-	for i := 1; i < len(names); i++ {
-		for j := i; j > 0 && names[j] < names[j-1]; j-- {
-			names[j], names[j-1] = names[j-1], names[j]
-		}
-	}
+	sort.Strings(names)
 	out := names[0]
 	for _, n := range names[1:] {
 		out += ", " + n

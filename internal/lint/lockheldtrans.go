@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// LockHeldTransitive extends lockheld through the call graph.
+var LockHeldTransitive = &Analyzer{
+	Name: "lockheld-transitive",
+	Doc: "The intraprocedural lockheld analyzer only sees blocking " +
+		"operations written directly under a Lock; a mutex held across a " +
+		"helper call that reaches an Invoke, a channel operation or a Wait " +
+		"two frames down is exactly as dangerous and far easier to write by " +
+		"accident. This analyzer replays lockheld's lock-state scan, but at " +
+		"every call site reached while a mutex is held it consults a " +
+		"per-function may-block summary computed once over the repo call " +
+		"graph (fixpoint over static and closure edges), and reports calls " +
+		"whose callee can block transitively, with the path to the blocking " +
+		"operation. Direct blocking calls are lockheld's job and are not " +
+		"re-reported here.",
+	RunRepo: runLockHeldTransitive,
+}
+
+func runLockHeldTransitive(pass *RepoPass) error {
+	g := pass.Graph
+	for _, pkg := range pass.Pkgs {
+		info := pkg.TypesInfo
+		sc := &lockScanner{
+			info: info,
+			// Syntactic blocking constructs are lockheld's findings.
+			onBlocking: func(token.Pos, string, lockState) {},
+			onCall: func(call *ast.CallExpr, held lockState) {
+				fn := calleeFunc(info, call)
+				if fn == nil {
+					return
+				}
+				if desc, _ := directBlockingDesc(info, call); desc != "" {
+					return // reported by lockheld
+				}
+				node := g.NodeOf(fn)
+				if node == nil {
+					return
+				}
+				blocks, trace := g.MayBlock(node)
+				if !blocks {
+					return
+				}
+				pass.Reportf(call.Pos(),
+					"call to %s while holding %s may block: %s",
+					node.Name(), heldNames(held), strings.Join(trace, " -> "))
+			},
+		}
+		scanPackageLocks(pkg.Syntax, sc)
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"integrade/internal/lint"
+	"integrade/internal/lint/linttest"
+)
+
+func TestLockHeldTransitive(t *testing.T) {
+	linttest.Run(t, lint.LockHeldTransitive, "testdata/src/lockheldtransitive")
+}

@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"strings"
+)
+
+// RPCCycle detects synchronous remote-invocation cycles across components.
+var RPCCycle = &Analyzer{
+	Name: "rpccycle",
+	Doc: "InteGrade's intra-cluster protocols are synchronous request/reply " +
+		"chains over the ORB, so a cycle of Invoke edges — a GRM handler " +
+		"that calls back into an LRM method which can RPC to the GRM — is a " +
+		"distributed self-deadlock waiting for a single-threaded servant or " +
+		"a full connection pool. The analyzer builds the repo call graph, " +
+		"links every Invoke(ref, <op>, ...) call site to the handlers " +
+		"registered for <op> via orb.OpMux.Handle anywhere in the repo, and " +
+		"reports each RPC edge that lies on a strongly connected component. " +
+		"Deliberately bounded recursion (TTL-guarded routing over an " +
+		"acyclic deployment tree) must carry a justifying //lint:allow " +
+		"rpccycle comment.",
+	RunRepo: runRPCCycle,
+}
+
+func runRPCCycle(pass *RepoPass) error {
+	g := pass.Graph
+	for _, comp := range g.SCCs() {
+		// A single node with no self edge is trivially acyclic.
+		if len(comp) == 1 {
+			single := singleMember(comp)
+			if !hasSelfEdge(single) {
+				continue
+			}
+		}
+		// Report every RPC edge that stays inside the component: each one
+		// is a remote invocation that can re-enter its own caller.
+		var members []*FuncNode
+		for n := range comp {
+			members = append(members, n)
+		}
+		g.sortNodes(members)
+		for _, n := range members {
+			for _, e := range n.Edges {
+				if e.Kind != EdgeRPC || !comp[e.To] {
+					continue
+				}
+				path := g.CyclePath(comp, n, e)
+				pass.Reportf(e.Pos,
+					"synchronous RPC %q can re-enter its own caller: %s",
+					e.Op, strings.Join(path, " -> "))
+			}
+		}
+	}
+	return nil
+}
+
+func singleMember(comp map[*FuncNode]bool) *FuncNode {
+	for n := range comp {
+		return n
+	}
+	return nil
+}
+
+func hasSelfEdge(n *FuncNode) bool {
+	for _, e := range n.Edges {
+		if e.To == n {
+			return true
+		}
+	}
+	return false
+}

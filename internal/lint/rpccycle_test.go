@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"integrade/internal/lint"
+	"integrade/internal/lint/linttest"
+)
+
+func TestRPCCycle(t *testing.T) {
+	linttest.Run(t, lint.RPCCycle, "testdata/src/rpccycle")
+}

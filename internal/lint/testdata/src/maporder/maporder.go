@@ -1,0 +1,136 @@
+// Fixture for the maporder analyzer: map iterations feeding wire encoding,
+// remote invocations (direct and through a helper), bench table rows, and
+// unsorted slice accumulation — plus the sorted / annotated / sink-free
+// shapes that must stay silent.
+package maporder
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+
+	"integrade/internal/bench"
+	"integrade/internal/orb"
+)
+
+// EncodeBad serializes a map in iteration order: the wire bytes change run
+// to run.
+func EncodeBad(e *orb.Encoder, m map[string]int) {
+	for k, v := range m { // want `map iteration order feeds wire encoding \(PutString\)`
+		e.PutString(k)
+		e.PutInt(v)
+	}
+}
+
+// EncodeGood serializes in sorted key order.
+func EncodeGood(e *orb.Encoder, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	e.PutU32(uint32(len(keys)))
+	for _, k := range keys {
+		e.PutString(k)
+		e.PutInt(m[k])
+	}
+}
+
+// KeysBad accumulates map keys and returns them unsorted.
+func KeysBad(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration order leaks into keys, which is never sorted before use`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// KeysGood sorts the accumulated keys before anyone can observe them.
+func KeysGood(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// KeysHelper sorts through a helper whose name declares the intent; the
+// analyzer accepts any sort-prefixed callee.
+func KeysHelper(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sortKeys(keys)
+	return keys
+}
+
+func sortKeys(keys []string) { sort.Strings(keys) }
+
+// NotifyAll contacts peers in map order: the remote side observes a
+// different request sequence every run.
+func NotifyAll(inv orb.Invoker, peers map[string]orb.ObjectRef) {
+	for _, ref := range peers { // want `map iteration order determines the order of remote invocations \(ORB invocation Invoke\)`
+		inv.Invoke(ref, "notify", nil)
+	}
+}
+
+// PingAll reaches the RPC through a helper; the call graph still sees it.
+func PingAll(inv orb.Invoker, peers map[string]orb.ObjectRef) {
+	for _, ref := range peers { // want `map iteration order determines the order of remote invocations \(via maporder\.ping\)`
+		ping(inv, ref)
+	}
+}
+
+func ping(inv orb.Invoker, ref orb.ObjectRef) {
+	_, _ = inv.Invoke(ref, "ping", nil)
+}
+
+// TouchAll deliberately does not care about contact order and says so.
+func TouchAll(inv orb.Invoker, peers map[string]orb.ObjectRef) {
+	//lint:ordered liveness touch; each peer is contacted independently
+	for _, ref := range peers {
+		inv.Invoke(ref, "touch", nil)
+	}
+}
+
+// RowsBad emits one bench table row per map entry, in map order.
+func RowsBad(t *bench.Table, samples map[string]float64) {
+	for name, v := range samples { // want `map iteration order emits bench table rows \(AddRow\)`
+		t.AddRow(name, v)
+	}
+}
+
+// Sum folds map values commutatively: no ordering-sensitive sink.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// PerEntry accumulates only into a slice scoped to one entry's processing,
+// so no cross-entry order can leak.
+func PerEntry(m map[string][]string) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, vs := range m {
+		var parts []string
+		for _, v := range vs {
+			parts = append(parts, v)
+		}
+		out[k] = strings.Join(parts, ",")
+	}
+	return out
+}
+
+// ReflectBad iterates a map through reflection, which is just as unordered.
+func ReflectBad(v reflect.Value) []string {
+	var keys []string
+	for _, k := range v.MapKeys() { // want `reflect\.MapKeys iterates a map in random order`
+		keys = append(keys, k.String())
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,103 @@
+// Fixture for the rpccycle analyzer: a two-component synchronous Invoke
+// cycle that no intraprocedural check (lockheld included) can see, plus a
+// plain request/reply pair that must stay silent and a TTL-bounded
+// recursion carrying the //lint:allow escape hatch.
+package rpccycle
+
+import "integrade/internal/orb"
+
+// Wire operation names.
+const (
+	opPing  = "cycle.ping"
+	opPong  = "cycle.pong"
+	opLeaf  = "cycle.leaf"
+	opRelay = "cycle.relay"
+)
+
+// Master is one half of a mutually re-entrant component pair: its servant
+// handles pong by calling the worker, whose servant handles ping by calling
+// back here.
+type Master struct {
+	inv orb.Invoker
+	ref orb.ObjectRef // the worker's reference
+}
+
+// CallWorker issues the master -> worker half of the cycle.
+func (m *Master) CallWorker() error {
+	_, err := m.inv.Invoke(m.ref, opPing, nil) // want `synchronous RPC "cycle\.ping" can re-enter its own caller`
+	return err
+}
+
+// Servant handles pong by synchronously calling the worker again.
+func (m *Master) Servant() orb.Servant {
+	return orb.NewOpMux().Handle(opPong, func(string, *orb.Decoder) (*orb.Encoder, error) {
+		if err := m.CallWorker(); err != nil {
+			return nil, err
+		}
+		return &orb.Encoder{}, nil
+	})
+}
+
+// Status is a plain request/reply to a handler that never calls back: no
+// cycle, no finding.
+func (m *Master) Status() error {
+	_, err := m.inv.Invoke(m.ref, opLeaf, nil)
+	return err
+}
+
+// Worker is the other half of the pair.
+type Worker struct {
+	inv orb.Invoker
+	ref orb.ObjectRef // the master's reference
+}
+
+// CallMaster issues the worker -> master half of the cycle.
+func (w *Worker) CallMaster() error {
+	_, err := w.inv.Invoke(w.ref, opPong, nil) // want `synchronous RPC "cycle\.pong" can re-enter its own caller`
+	return err
+}
+
+// Servant handles ping by synchronously calling the master back.
+func (w *Worker) Servant() orb.Servant {
+	return orb.NewOpMux().Handle(opPing, func(string, *orb.Decoder) (*orb.Encoder, error) {
+		if err := w.CallMaster(); err != nil {
+			return nil, err
+		}
+		return &orb.Encoder{}, nil
+	})
+}
+
+// LeafServant answers opLeaf without issuing any RPC.
+func LeafServant() orb.Servant {
+	return orb.NewOpMux().Handle(opLeaf, func(string, *orb.Decoder) (*orb.Encoder, error) {
+		return &orb.Encoder{}, nil
+	})
+}
+
+// Relay forwards a request to the next hop of a chain whose servant handles
+// the same operation — a real cycle in the call graph, deliberately bounded
+// by the ttl argument, so it carries the justifying allow directive.
+type Relay struct {
+	inv  orb.Invoker
+	next orb.ObjectRef
+}
+
+// Forward passes the request along unless the hop budget is spent.
+func (r *Relay) Forward(ttl int) error {
+	if ttl <= 0 {
+		return nil
+	}
+	//lint:allow rpccycle recursion is hop-bounded by the ttl argument
+	_, err := r.inv.Invoke(r.next, opRelay, nil)
+	return err
+}
+
+// Servant handles relay by forwarding with a decremented budget.
+func (r *Relay) Servant(ttl int) orb.Servant {
+	return orb.NewOpMux().Handle(opRelay, func(string, *orb.Decoder) (*orb.Encoder, error) {
+		if err := r.Forward(ttl - 1); err != nil {
+			return nil, err
+		}
+		return &orb.Encoder{}, nil
+	})
+}

@@ -1,0 +1,11 @@
+package trading
+
+import (
+	"testing"
+
+	"integrade/internal/testutil/leak"
+)
+
+// TestMain gates the package's suite on the goroutine-leak detector: any
+// goroutine still running after the tests pass fails the run.
+func TestMain(m *testing.M) { leak.Main(m) }

@@ -2,6 +2,7 @@ package trading
 
 import (
 	"fmt"
+	"sort"
 
 	"integrade/internal/constraint"
 	"integrade/internal/orb"
@@ -29,12 +30,7 @@ func EncodeProperties(e *orb.Encoder, props constraint.Properties) {
 	for k := range props {
 		keys = append(keys, k)
 	}
-	// Insertion sort keeps this dependency-free and fast for small maps.
-	for i := 1; i < len(keys); i++ {
-		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
-			keys[j], keys[j-1] = keys[j-1], keys[j]
-		}
-	}
+	sort.Strings(keys)
 	e.PutU32(uint32(len(keys)))
 	for _, k := range keys {
 		e.PutString(k)
