@@ -3,7 +3,10 @@ GO ?= go
 # Seconds each fuzzer runs in the smoke target; CI uses the same knob.
 FUZZ_SMOKE_TIME ?= 30s
 
-.PHONY: all build test race vet lint interproc-lint fuzz-smoke fmt-check ci
+# Seeds the chaos target sweeps; each runs the fault-injection suite once.
+CHAOS_SEEDS ?= 1 7 42
+
+.PHONY: all build test race vet lint interproc-lint fuzz-smoke fmt-check chaos ci
 
 all: build
 
@@ -37,5 +40,16 @@ fuzz-smoke:
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
+# Fault-injection suite under the race detector, swept over fixed seeds.
+# CHAOS_SEED parameterizes the seeded-trace tests; the packages cover the
+# chaos engine itself, the resilient ORB client, the GRM failure detector,
+# and the end-to-end crash/recovery paths in core.
+chaos:
+	@for seed in $(CHAOS_SEEDS); do \
+		echo "== chaos suite, seed $$seed =="; \
+		CHAOS_SEED=$$seed $(GO) test -race -count=1 \
+			./internal/chaos ./internal/orb ./internal/grm ./internal/core || exit 1; \
+	done
+
 # Everything CI runs, in the same order.
-ci: build fmt-check vet lint interproc-lint race fuzz-smoke
+ci: build fmt-check vet lint interproc-lint race chaos fuzz-smoke

@@ -168,8 +168,24 @@ func BenchmarkExp8Hierarchy(b *testing.B) {
 	})
 }
 
-func BenchmarkExp9ORB(b *testing.B) {
+func BenchmarkExp9Recovery(b *testing.B) {
 	runExperiment(b, "E9", func(t bench.Table, b *testing.B) {
+		// Completion at the 20% crash level, with and without recovery.
+		for i, r := range t.Rows {
+			if len(r) > 2 && r[0] == "20%" && r[1] == "0%" {
+				switch r[2] {
+				case "integrade":
+					b.ReportMetric(cell(t, i, "completion_pct"), "recovery20pct_%")
+				case "integrade-no-recovery":
+					b.ReportMetric(cell(t, i, "completion_pct"), "noRecovery20pct_%")
+				}
+			}
+		}
+	})
+}
+
+func BenchmarkExp11ORB(b *testing.B) {
+	runExperiment(b, "E11", func(t bench.Table, b *testing.B) {
 		if i := rowByFirst(t, "inproc"); i >= 0 {
 			b.ReportMetric(cell(t, i, "us_per_op"), "inproc64B_us")
 		}

@@ -1,5 +1,5 @@
 // Command integrade-bench regenerates the experiment tables of DESIGN.md
-// Section 9 / EXPERIMENTS.md: the paper-claim experiments E1-E10 and the
+// Section 9 / EXPERIMENTS.md: the paper-claim experiments E1-E11 and the
 // design ablations A1-A3.
 //
 // Usage:

@@ -78,18 +78,7 @@ func (b *BOINCLike) Tick(now time.Time) {
 			}
 		}
 		for _, t := range evicted {
-			tk, ok := b.running[t.ID]
-			if !ok {
-				continue
-			}
-			delete(b.running, t.ID)
-			tk.running = false
-			b.stats.TasksEvicted++
-			// Local client checkpoint: progress survives in full, but the
-			// unit is pinned to this machine.
-			tk.progress = t.Progress()
-			tk.boundNode = n.ID()
-			b.bound[n.ID()] = append(b.bound[n.ID()], tk)
+			b.handleEviction(n.ID(), t)
 		}
 	}
 
@@ -112,6 +101,36 @@ func (b *BOINCLike) Tick(now time.Time) {
 			continue
 		}
 		b.running[tk.id] = tk
+	}
+}
+
+// handleEviction records an interrupted work unit. Local client checkpoint:
+// progress survives in full, but the unit is pinned to this machine and only
+// resumes there (no migration).
+func (b *BOINCLike) handleEviction(nodeID string, t *node.Task) {
+	tk, ok := b.running[t.ID]
+	if !ok {
+		return
+	}
+	delete(b.running, t.ID)
+	tk.running = false
+	b.stats.TasksEvicted++
+	tk.progress = t.Progress()
+	tk.boundNode = nodeID
+	b.bound[nodeID] = append(b.bound[nodeID], tk)
+}
+
+// Crash fails a client machine for the given outage. Its work units stay
+// pinned to it — the on-disk checkpoint survives a reboot — so they resume
+// only once the machine comes back. Unknown machines are ignored.
+func (b *BOINCLike) Crash(nodeID string, now time.Time, outage time.Duration) {
+	for _, n := range b.nodes {
+		if n.ID() == nodeID {
+			for _, t := range n.Fail(now, outage) {
+				b.handleEviction(nodeID, t)
+			}
+			return
+		}
 	}
 }
 

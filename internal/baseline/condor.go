@@ -89,32 +89,51 @@ func (c *CondorLike) Tick(now time.Time) {
 			}
 		}
 		for _, t := range evicted {
-			tk, ok := c.running[t.ID]
-			if !ok {
-				continue
-			}
-			delete(c.running, t.ID)
-			tk.running = false
-			c.stats.TasksEvicted++
-			switch tk.job.job.Kind {
-			case JobSequential, JobBag:
-				prev := tk.progress
-				if c.checkpointEvery > 0 {
-					intervals := int(t.Progress() / c.checkpointEvery)
-					tk.progress = float64(intervals) * c.checkpointEvery
-				} else {
-					tk.progress = 0
-				}
-				c.stats.WorkLostMI += t.Progress() - tk.progress
-				_ = prev
-			case JobBSP:
-				// A parallel job loses everything: evict its siblings too.
-				c.stats.WorkLostMI += t.Progress()
-				c.abortBSP(tk.job, now)
-			}
+			c.handleEviction(t, now)
 		}
 	}
 	c.match(now)
+}
+
+// handleEviction routes one evicted task through Condor's recovery
+// semantics: sequential work resumes from the last checkpoint (zero without
+// checkpointing), parallel work loses everything and aborts its gang.
+func (c *CondorLike) handleEviction(t *node.Task, now time.Time) {
+	tk, ok := c.running[t.ID]
+	if !ok {
+		return
+	}
+	delete(c.running, t.ID)
+	tk.running = false
+	c.stats.TasksEvicted++
+	switch tk.job.job.Kind {
+	case JobSequential, JobBag:
+		if c.checkpointEvery > 0 {
+			intervals := int(t.Progress() / c.checkpointEvery)
+			tk.progress = float64(intervals) * c.checkpointEvery
+		} else {
+			tk.progress = 0
+		}
+		c.stats.WorkLostMI += t.Progress() - tk.progress
+	case JobBSP:
+		// A parallel job loses everything: evict its siblings too.
+		c.stats.WorkLostMI += t.Progress()
+		c.abortBSP(tk.job, now)
+	}
+}
+
+// Crash fails a machine outright for the given outage and routes its dying
+// tasks through the eviction path, exactly as the matchmaker would observe a
+// vanished worker. Unknown machines are ignored.
+func (c *CondorLike) Crash(nodeID string, now time.Time, outage time.Duration) {
+	for _, n := range c.nodes {
+		if n.ID() == nodeID {
+			for _, t := range n.Fail(now, outage) {
+				c.handleEviction(t, now)
+			}
+			return
+		}
+	}
 }
 
 // abortBSP cancels a BSP job's other running tasks and resets progress.

@@ -43,8 +43,8 @@ func TestFormatFloat(t *testing.T) {
 
 func TestAllRegistered(t *testing.T) {
 	exps := All()
-	if len(exps) != 13 {
-		t.Fatalf("experiments = %d, want 13 (E1-E10 + A1-A3)", len(exps))
+	if len(exps) != 14 {
+		t.Fatalf("experiments = %d, want 14 (E1-E11 + A1-A3)", len(exps))
 	}
 	seen := make(map[string]bool)
 	for _, e := range exps {
@@ -185,9 +185,9 @@ func TestExperimentOutputByteStable(t *testing.T) {
 }
 
 func TestExperimentsDeterministic(t *testing.T) {
-	// Simulated experiments must be bit-identical for a fixed seed (E9 is
+	// Simulated experiments must be bit-identical for a fixed seed (E11 is
 	// wall-clock and exempt).
-	for _, id := range []string{"E2", "E5", "E7", "A2"} {
+	for _, id := range []string{"E2", "E5", "E7", "E9", "A2"} {
 		var run func(int64) Table
 		for _, e := range All() {
 			if e.ID == id {

@@ -15,16 +15,16 @@ import (
 // substitute a virtual clock.
 var benchClock sim.Clock = sim.RealClock{}
 
-// Exp9ORB measures the lightweight ORB's invocation performance — latency
+// Exp11ORB measures the lightweight ORB's invocation performance — latency
 // and throughput over the in-process and TCP transports for several payload
 // sizes. These are wall-clock measurements.
 //
 // Paper claim (§5): client nodes use "a very small memory footprint
 // CORBA-compatible implementation" so resource providers are not burdened;
 // the ORB must be cheap.
-func Exp9ORB(seed int64) Table {
+func Exp11ORB(seed int64) Table {
 	t := Table{
-		ID:      "E9",
+		ID:      "E11",
 		Title:   "ORB invocation microbenchmarks (wall clock)",
 		Columns: []string{"transport", "payload_B", "ops", "us_per_op", "MB_per_s"},
 	}

@@ -1,5 +1,5 @@
 // Package bench implements the experiment suite of DESIGN.md Section 9: one
-// runner per experiment (E1–E10), each regenerating its table. The runners
+// runner per experiment (E1–E11), each regenerating its table. The runners
 // are shared by the repository-root benchmarks (go test -bench) and the
 // integrade-bench CLI.
 //
@@ -104,8 +104,9 @@ func All() []Experiment {
 		{ID: "E6", Title: "BSP checkpointing and recovery", Run: Exp6BSPCheckpointing},
 		{ID: "E7", Title: "Virtual-topology placement", Run: Exp7VirtualTopology},
 		{ID: "E8", Title: "Inter-cluster hierarchy routing", Run: Exp8Hierarchy},
-		{ID: "E9", Title: "ORB microbenchmarks", Run: Exp9ORB},
+		{ID: "E9", Title: "Failure recovery under fault injection", Run: Exp9Recovery},
 		{ID: "E10", Title: "InteGrade vs Condor-like vs BOINC-like", Run: Exp10Baselines},
+		{ID: "E11", Title: "ORB microbenchmarks", Run: Exp11ORB},
 		{ID: "A1", Title: "Ablation: information-update period", Run: AblationUpdatePeriod},
 		{ID: "A2", Title: "Ablation: negotiation attempt budget", Run: AblationMaxAttempts},
 		{ID: "A3", Title: "Ablation: trader offer TTL", Run: AblationOfferTTL},

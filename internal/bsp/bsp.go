@@ -47,9 +47,10 @@ type Runtime struct {
 	restoreStep     int
 	restoreStates   [][]byte
 
-	// statsMu guards lastStats.
+	// statsMu guards lastStats and active.
 	statsMu   sync.Mutex
 	lastStats CostStats
+	active    *world
 }
 
 // Option configures a Runtime.
@@ -94,6 +95,9 @@ func (r *Runtime) NProcs() int { return r.nprocs }
 // error, if any. It blocks until every process goroutine has exited.
 func (r *Runtime) Run(program Program) error {
 	world := newWorld(r)
+	r.statsMu.Lock()
+	r.active = world
+	r.statsMu.Unlock()
 	var wg sync.WaitGroup
 	errs := make([]error, r.nprocs)
 	for pid := 0; pid < r.nprocs; pid++ {
@@ -111,10 +115,21 @@ func (r *Runtime) Run(program Program) error {
 		}(pid)
 	}
 	wg.Wait()
+	r.statsMu.Lock()
+	r.active = nil
+	r.statsMu.Unlock()
 	for _, err := range errs {
 		if err != nil && !errors.Is(err, ErrAborted) {
 			return err
 		}
+	}
+	// Every process saw ErrAborted (or none erred): surface the abort cause
+	// — set by the first failing process or by an external Abort.
+	world.mu.Lock()
+	abortErr := world.abortErr
+	world.mu.Unlock()
+	if abortErr != nil {
+		return abortErr
 	}
 	for _, err := range errs {
 		if err != nil {
@@ -122,6 +137,33 @@ func (r *Runtime) Run(program Program) error {
 		}
 	}
 	return nil
+}
+
+// Abort terminates the in-flight run, if any: every process observes
+// ErrAborted at its next Sync (processes already blocked at the barrier wake
+// immediately) and Run returns an error wrapping ErrAborted and cause. The
+// grid's failure detector uses this when a gang member's node dies —
+// survivors parked at a barrier can never proceed, so the whole gang unwinds
+// and restarts from its last checkpoint. Safe to call from any goroutine;
+// a no-op when no run is active or the run already aborted.
+func (r *Runtime) Abort(cause error) {
+	r.statsMu.Lock()
+	w := r.active
+	r.statsMu.Unlock()
+	if w == nil {
+		return
+	}
+	err := ErrAborted
+	if cause != nil {
+		err = fmt.Errorf("%w: %v", ErrAborted, cause)
+	}
+	w.mu.Lock()
+	if !w.aborted {
+		w.aborted = true
+		w.abortErr = err
+		w.cond.Broadcast()
+	}
+	w.mu.Unlock()
 }
 
 // world is the shared state of one run.

@@ -1,0 +1,352 @@
+// Package chaos is InteGrade's deterministic fault-injection engine.
+//
+// An Engine sits on the shared orb.Interceptor hook, so the same fault
+// schedule perturbs in-process loopback runs and real TCP runs through one
+// code path. All randomness comes from a forked sim.RNG stream and all
+// timing from a sim.Clock, so a (seed, schedule) pair reproduces the exact
+// same fault sequence run after run — the property the recovery experiments
+// (bench E9) and the chaos test suite rely on.
+//
+// Faults compose from three primitives:
+//
+//   - Message faults (MessageFault): probabilistic drop, delay and
+//     duplication of invocations selected by a Match pattern. Injected at
+//     delivery time, never by blocking the caller: a delayed message
+//     surfaces to the sender as a timeout and is re-delivered later via
+//     Clock.AfterFunc; a duplicate is delivered immediately and once more
+//     after DuplicateAfter, with the second reply discarded.
+//   - Partitions (Isolate/Heal): endpoint isolation sets. Any invocation
+//     targeting an isolated address fails with a transport error, which
+//     approximates a network partition from the caller's viewpoint.
+//   - Node crashes (RegisterNode/ScheduleCrash): a crash invokes the
+//     registered Crash hook (the host decides what "crash" means — in the
+//     simulated grid it silences the LRM and isolates the node's endpoint)
+//     and, if an outage duration is given, the Restart hook later.
+//
+// Schedules are built by composing At, FaultWindow, SchedulePartition and
+// ScheduleCrash, all of which run relative to the engine clock's current
+// time; on a sim.VirtualClock the whole schedule executes deterministically
+// as the driving test advances time.
+package chaos
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"integrade/internal/orb"
+	"integrade/internal/sim"
+)
+
+// Match selects invocations by target address, object key and operation.
+// Empty fields are wildcards; a zero Match matches every invocation.
+type Match struct {
+	Addr string // endpoint address ("c1/n3", "mgr-c1", "host:port")
+	Key  string // object key within the adapter
+	Op   string // operation name
+}
+
+// Covers reports whether the pattern selects the given invocation.
+func (m Match) Covers(target orb.Endpoint, key, op string) bool {
+	if m.Addr != "" && m.Addr != target.Addr {
+		return false
+	}
+	if m.Key != "" && m.Key != key {
+		return false
+	}
+	if m.Op != "" && m.Op != op {
+		return false
+	}
+	return true
+}
+
+// MessageFault perturbs matching invocations. Probabilities are evaluated
+// independently in Drop, Delay, Duplicate order; the first that fires wins.
+type MessageFault struct {
+	Match Match
+
+	Drop float64 // probability the message is lost
+
+	Delay   float64       // probability the message is delayed past its deadline
+	DelayBy time.Duration // late-delivery lag (default 30s)
+
+	Duplicate      float64       // probability the message is delivered twice
+	DuplicateAfter time.Duration // lag before the second delivery (default 1s)
+}
+
+// NodeHooks are the host-provided crash and restart actions for one node.
+// Hooks run outside engine locks and must be safe to call from clock events.
+type NodeHooks struct {
+	Crash   func()
+	Restart func()
+}
+
+// Stats counts injected faults; all fields are cumulative.
+type Stats struct {
+	Seen           int // invocations inspected
+	Dropped        int // messages lost to MessageFault.Drop
+	Delayed        int // messages delayed past their deadline
+	Duplicated     int // messages delivered twice
+	PartitionDrops int // messages refused because the target was isolated
+	Crashes        int // node crash hooks fired
+	Restarts       int // node restart hooks fired
+}
+
+// Engine injects faults into ORB traffic and schedules node-level failures.
+// It implements orb.Interceptor; install it with ORB.SetInterceptor. Safe
+// for concurrent use.
+type Engine struct {
+	clock sim.Clock
+
+	// mu guards rng, nextFaultID, faults, isolated, nodes and stats. It is
+	// only ever held to make decisions and snapshot state — never across a
+	// delivery, a hook, or any other call that could block.
+	mu          sync.Mutex
+	rng         *sim.RNG
+	nextFaultID int
+	faults      map[int]MessageFault
+	isolated    map[string]bool
+	nodes       map[string]NodeHooks
+	stats       Stats
+}
+
+var _ orb.Interceptor = (*Engine)(nil)
+
+// NewEngine returns an Engine driven by clock, sampling from its own fork
+// of rng (the parent stream is not consumed further).
+func NewEngine(clock sim.Clock, rng *sim.RNG) *Engine {
+	return &Engine{
+		clock:    clock,
+		rng:      rng.Fork("chaos"),
+		faults:   make(map[int]MessageFault),
+		isolated: make(map[string]bool),
+		nodes:    make(map[string]NodeHooks),
+	}
+}
+
+// AddFault activates a message fault and returns its id for RemoveFault.
+func (e *Engine) AddFault(f MessageFault) int {
+	if f.DelayBy <= 0 {
+		f.DelayBy = 30 * time.Second
+	}
+	if f.DuplicateAfter <= 0 {
+		f.DuplicateAfter = time.Second
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.nextFaultID++
+	id := e.nextFaultID
+	e.faults[id] = f
+	return id
+}
+
+// RemoveFault deactivates the fault with the given id.
+func (e *Engine) RemoveFault(id int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.faults, id)
+}
+
+// ClearFaults deactivates every message fault (partitions are unaffected).
+func (e *Engine) ClearFaults() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.faults = make(map[int]MessageFault)
+}
+
+// Isolate adds addresses to the partition set: invocations targeting them
+// fail with a transport error until Heal.
+func (e *Engine) Isolate(addrs ...string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, a := range addrs {
+		e.isolated[a] = true
+	}
+}
+
+// Heal removes addresses from the partition set.
+func (e *Engine) Heal(addrs ...string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, a := range addrs {
+		delete(e.isolated, a)
+	}
+}
+
+// HealAll clears the partition set.
+func (e *Engine) HealAll() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.isolated = make(map[string]bool)
+}
+
+// Isolated reports whether addr is currently partitioned away.
+func (e *Engine) Isolated(addr string) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.isolated[addr]
+}
+
+// RegisterNode associates crash/restart hooks with a node id so schedules
+// can crash it by name.
+func (e *Engine) RegisterNode(id string, hooks NodeHooks) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.nodes[id] = hooks
+}
+
+// Nodes returns the registered node ids in sorted order.
+func (e *Engine) Nodes() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ids := make([]string, 0, len(e.nodes))
+	for id := range e.nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Stats returns a snapshot of the fault counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// At schedules fn to run once the engine clock has advanced by d.
+func (e *Engine) At(d time.Duration, fn func()) {
+	e.clock.AfterFunc(d, fn)
+}
+
+// FaultWindow activates f after `from` and deactivates it again after
+// `until` (both relative to now). A zero or negative `until` leaves the
+// fault active forever.
+func (e *Engine) FaultWindow(f MessageFault, from, until time.Duration) {
+	e.At(from, func() {
+		id := e.AddFault(f)
+		if until > from {
+			e.At(until-from, func() { e.RemoveFault(id) })
+		}
+	})
+}
+
+// SchedulePartition isolates addrs after `from` and heals them after
+// `until` (both relative to now). A zero or negative `until` leaves the
+// partition in place forever.
+func (e *Engine) SchedulePartition(addrs []string, from, until time.Duration) {
+	e.At(from, func() {
+		e.Isolate(addrs...)
+		if until > from {
+			e.At(until-from, func() { e.Heal(addrs...) })
+		}
+	})
+}
+
+// ScheduleCrash crashes the named node after `at`, restarting it `outage`
+// later; a zero or negative outage means the node never comes back.
+func (e *Engine) ScheduleCrash(nodeID string, at, outage time.Duration) {
+	e.At(at, func() {
+		e.crash(nodeID)
+		if outage > 0 {
+			e.At(outage, func() { e.restart(nodeID) })
+		}
+	})
+}
+
+func (e *Engine) crash(nodeID string) {
+	e.mu.Lock()
+	hooks, ok := e.nodes[nodeID]
+	if ok {
+		e.stats.Crashes++
+	}
+	e.mu.Unlock()
+	if ok && hooks.Crash != nil {
+		hooks.Crash()
+	}
+}
+
+func (e *Engine) restart(nodeID string) {
+	e.mu.Lock()
+	hooks, ok := e.nodes[nodeID]
+	if ok {
+		e.stats.Restarts++
+	}
+	e.mu.Unlock()
+	if ok && hooks.Restart != nil {
+		hooks.Restart()
+	}
+}
+
+// verdict is the decision taken for one invocation, computed under lock and
+// acted on after release.
+type verdict int
+
+const (
+	actDeliver verdict = iota
+	actPartition
+	actDrop
+	actDelay
+	actDuplicate
+)
+
+// Intercept implements orb.Interceptor: it decides the fate of one
+// invocation under the engine's fault state and performs the chosen action
+// without ever blocking the caller.
+func (e *Engine) Intercept(target orb.Endpoint, key, op string, _ []byte, next func() ([]byte, error)) ([]byte, error) {
+	e.mu.Lock()
+	e.stats.Seen++
+	act := actDeliver
+	var lag time.Duration
+	switch {
+	case e.isolated[target.Addr]:
+		act = actPartition
+		e.stats.PartitionDrops++
+	default:
+		// First matching fault (in activation order) decides.
+		ids := make([]int, 0, len(e.faults))
+		for id := range e.faults {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			f := e.faults[id]
+			if !f.Match.Covers(target, key, op) {
+				continue
+			}
+			switch {
+			case f.Drop > 0 && e.rng.Bool(f.Drop):
+				act, lag = actDrop, 0
+				e.stats.Dropped++
+			case f.Delay > 0 && e.rng.Bool(f.Delay):
+				act, lag = actDelay, f.DelayBy
+				e.stats.Delayed++
+			case f.Duplicate > 0 && e.rng.Bool(f.Duplicate):
+				act, lag = actDuplicate, f.DuplicateAfter
+				e.stats.Duplicated++
+			}
+			break
+		}
+	}
+	e.mu.Unlock()
+
+	switch act {
+	case actPartition:
+		return nil, orb.Errorf(orb.CodeTransport, "chaos: %s unreachable (partitioned)", target.Addr)
+	case actDrop:
+		return nil, orb.Errorf(orb.CodeTransport, "chaos: message to %s/%s.%s dropped", target.Addr, key, op)
+	case actDelay:
+		// The message is not lost, merely late: deliver its side effects
+		// when the lag elapses, while the sender sees a timeout now. Never
+		// block — under a virtual clock, blocking here would deadlock the
+		// event loop.
+		e.clock.AfterFunc(lag, func() { _, _ = next() })
+		return nil, orb.Errorf(orb.CodeTimeout, "chaos: message to %s/%s.%s delayed %v, past deadline", target.Addr, key, op, lag)
+	case actDuplicate:
+		reply, err := next()
+		e.clock.AfterFunc(lag, func() { _, _ = next() })
+		return reply, err
+	default:
+		return next()
+	}
+}

@@ -170,6 +170,14 @@ func (f sinkFunc) Save(superstep int, states [][]byte) error {
 // exists (rollback recovery / migration restart). On success the snapshot
 // is dropped.
 func Resume(store *Store, appID string, nprocs, every int, program bsp.Program) error {
+	return ResumeRuntime(store, appID, nprocs, every, program, nil)
+}
+
+// ResumeRuntime is Resume with a hook: onRuntime (if non-nil) receives the
+// configured runtime before it starts, so callers can arm external controls
+// — notably Runtime.Abort from a failure detector — against the active run.
+// The hook is called again with nil once the run ends.
+func ResumeRuntime(store *Store, appID string, nprocs, every int, program bsp.Program, onRuntime func(*bsp.Runtime)) error {
 	opts := []bsp.Option{bsp.WithCheckpoint(every, store.Sink(appID))}
 	if cp, err := store.Latest(appID); err == nil {
 		if len(cp.States) != nprocs {
@@ -180,6 +188,10 @@ func Resume(store *Store, appID string, nprocs, every int, program bsp.Program) 
 	rt, err := bsp.NewRuntime(nprocs, opts...)
 	if err != nil {
 		return err
+	}
+	if onRuntime != nil {
+		onRuntime(rt)
+		defer onRuntime(nil)
 	}
 	if err := rt.Run(program); err != nil {
 		return err

@@ -59,10 +59,13 @@ func (g *Grid) RunBSP(job BSPJob, program bsp.Program) error {
 
 	// Phase 1: hold the gang. The placeholder tasks carry effectively
 	// unbounded work; they exist to keep the allocation committed while
-	// the program runs and are cancelled afterwards.
+	// the program runs and are cancelled afterwards. RestartEvicted lets
+	// the failure detector re-place the gang's placeholders on surviving
+	// nodes when a member's machine dies mid-run.
 	handle, err := g.Submit(asct.NewApplication(job.Name).
 		BSP(job.Procs, 1e18).
-		Allocate(job.Alloc))
+		Allocate(job.Alloc).
+		RestartEvicted())
 	if err != nil {
 		return fmt.Errorf("core: acquire gang: %w", err)
 	}
@@ -79,10 +82,23 @@ func (g *Grid) RunBSP(job BSPJob, program bsp.Program) error {
 		}
 	}
 
-	// Phase 2: run with rollback recovery.
+	// Phase 2: run with rollback recovery. The active runtime is registered
+	// under the placement's app ID so the GRM's failure detector can abort
+	// the gang (waking processes parked at barriers) when a member node is
+	// declared dead; the next attempt restores from the latest snapshot.
+	appID := handle.ID()
+	onRuntime := func(rt *bsp.Runtime) {
+		g.bspMu.Lock()
+		if rt == nil {
+			delete(g.bspRuns, appID)
+		} else {
+			g.bspRuns[appID] = rt
+		}
+		g.bspMu.Unlock()
+	}
 	var lastErr error
 	for attempt := 0; attempt <= job.MaxRestarts; attempt++ {
-		lastErr = checkpoint.Resume(g.store, job.Name, job.Procs, every, program)
+		lastErr = checkpoint.ResumeRuntime(g.store, job.Name, job.Procs, every, program, onRuntime)
 		if lastErr == nil {
 			return nil
 		}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"integrade/internal/chaos"
+	"integrade/internal/lrm"
+	"integrade/internal/node"
+	"integrade/internal/sim"
+)
+
+// chaosCrashOutage is the node-model downtime used for chaos crashes: the
+// engine decides when (and whether) the node restarts, so the node itself
+// stays down indefinitely until RestartNode revives it.
+const chaosCrashOutage = 10 * 365 * 24 * time.Hour
+
+// EnableChaos attaches a deterministic fault-injection engine to the grid:
+// it intercepts every ORB invocation (message drop/delay/duplication and
+// partitions) and can crash and restart grid nodes by ID. The engine runs
+// on the grid clock and a fresh RNG stream derived from seed, independent
+// of the grid's own seed, so the same fault schedule can be replayed
+// against different workloads. Idempotent: repeated calls return the same
+// engine. Nodes added before or after the call are registered either way.
+func (g *Grid) EnableChaos(seed int64) *chaos.Engine {
+	g.mu.Lock()
+	if g.chaos != nil {
+		e := g.chaos
+		g.mu.Unlock()
+		return e
+	}
+	engine := chaos.NewEngine(g.clock, sim.NewRNG(seed))
+	g.chaos = engine
+	clusters := make([]*Cluster, 0, len(g.order))
+	for _, id := range g.order {
+		clusters = append(clusters, g.clusters[id])
+	}
+	g.mu.Unlock()
+
+	g.orb.SetInterceptor(engine)
+	for _, c := range clusters {
+		for _, n := range c.Nodes() {
+			c.registerChaosNode(engine, n.ID())
+		}
+	}
+	return engine
+}
+
+// Chaos returns the attached fault engine, or nil when chaos is disabled.
+func (g *Grid) Chaos() *chaos.Engine {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.chaos
+}
+
+// registerChaosNode wires a node's crash/restart hooks into the engine.
+func (c *Cluster) registerChaosNode(engine *chaos.Engine, nodeID string) {
+	engine.RegisterNode(nodeID, chaos.NodeHooks{
+		Crash:   func() { _ = c.CrashNodeSilently(nodeID, chaosCrashOutage) },
+		Restart: func() { _ = c.RestartNode(nodeID) },
+	})
+}
+
+// CrashNodeSilently kills a node with no cooperative eviction notice — the
+// "pulled power cord" that FailNode cannot model. The node model drops its
+// tasks on the floor, the LRM stops heartbeating, and (when chaos is
+// enabled) the node's endpoint is isolated so in-flight RPCs to it fail.
+// Detecting the loss and rescheduling the work is entirely the GRM failure
+// detector's job.
+func (c *Cluster) CrashNodeSilently(nodeID string, outage time.Duration) error {
+	n, l, err := c.nodeByID(nodeID)
+	if err != nil {
+		return err
+	}
+	n.Fail(c.grid.clock.Now(), outage)
+	l.Stop()
+	if e := c.grid.Chaos(); e != nil {
+		e.Isolate(nodeID)
+	}
+	return nil
+}
+
+// RestartNode revives a crashed node with empty state: its endpoint heals,
+// its LRM resumes heartbeating, and its first update re-registers it with
+// the trader as fresh capacity.
+func (c *Cluster) RestartNode(nodeID string) error {
+	n, l, err := c.nodeByID(nodeID)
+	if err != nil {
+		return err
+	}
+	// Fail with zero outage moves downUntil to now: the node is back up,
+	// holding no tasks (a restarted machine remembers nothing).
+	n.Fail(c.grid.clock.Now(), 0)
+	if e := c.grid.Chaos(); e != nil {
+		e.Heal(nodeID)
+	}
+	l.Start()
+	l.SendUpdate()
+	return nil
+}
+
+func (c *Cluster) nodeByID(nodeID string) (*node.Node, *lrm.LRM, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, n := range c.nodes {
+		if n.ID() == nodeID {
+			return n, c.lrms[i], nil
+		}
+	}
+	return nil, nil, fmt.Errorf("core: unknown node %q", nodeID)
+}
+
+// ErrGangMemberLost is the abort cause handed to BSP runtimes when the
+// failure detector evicts a gang member's node.
+var ErrGangMemberLost = errors.New("core: gang member node declared dead")
+
+// abortBSP aborts the in-flight BSP runtime attached to appID, if any: the
+// gang unwinds at its next barrier and RunBSP restarts it from the latest
+// checkpoint.
+func (g *Grid) abortBSP(appID string) {
+	g.bspMu.Lock()
+	rt := g.bspRuns[appID]
+	g.bspMu.Unlock()
+	if rt != nil {
+		rt.Abort(ErrGangMemberLost)
+	}
+}

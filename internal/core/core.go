@@ -17,6 +17,8 @@ import (
 	"time"
 
 	"integrade/internal/asct"
+	"integrade/internal/bsp"
+	"integrade/internal/chaos"
 	"integrade/internal/checkpoint"
 	"integrade/internal/grm"
 	"integrade/internal/gupa"
@@ -42,11 +44,18 @@ type Grid struct {
 	rng    *sim.RNG
 	log    *slog.Logger
 	store  *checkpoint.Store
-	// mu guards clusters, order and stopped.
+	// mu guards clusters, order, stopped and chaos.
 	mu       sync.Mutex
 	clusters map[string]*Cluster
 	order    []string
 	stopped  bool
+	chaos    *chaos.Engine
+
+	// bspMu guards bspRuns: the in-flight BSP runtime per application,
+	// registered by RunBSP so the failure detector can abort a gang whose
+	// node died.
+	bspMu   sync.Mutex
+	bspRuns map[string]*bsp.Runtime
 }
 
 // Option configures a Grid.
@@ -81,6 +90,7 @@ func NewGrid(opts ...Option) *Grid {
 		rng:      sim.NewRNG(1),
 		log:      slog.New(slog.DiscardHandler),
 		clusters: make(map[string]*Cluster),
+		bspRuns:  make(map[string]*bsp.Runtime),
 	}
 	for _, opt := range opts {
 		opt(g)
@@ -312,6 +322,7 @@ func (g *Grid) AddCluster(id string, opts ...ClusterOption) (*Cluster, error) {
 	c.grm = grm.New(id, g.clock, g.orb, append([]grm.Option{
 		grm.WithRNG(g.rng.Fork("grm-" + id)),
 		grm.WithLogger(g.log),
+		grm.WithEvictionObserver(g.abortBSP),
 	}, cfg.grmOpts...)...)
 	c.gupaSvc = gupa.NewService()
 	c.hnode = hierarchy.NewNode(c.grm, g.orb)
@@ -497,6 +508,9 @@ func (c *Cluster) AddNodes(cfg NodeConfig) ([]string, error) {
 		c.nodes = append(c.nodes, n)
 		c.lrms = append(c.lrms, l)
 		c.mu.Unlock()
+		if engine := g.Chaos(); engine != nil {
+			c.registerChaosNode(engine, id)
+		}
 		ids = append(ids, id)
 	}
 	return ids, nil

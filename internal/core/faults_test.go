@@ -1,11 +1,16 @@
 package core
 
 import (
+	"encoding/binary"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"integrade/internal/asct"
+	"integrade/internal/bsp"
+	"integrade/internal/grm"
 	"integrade/internal/orb"
 	"integrade/internal/resource"
 	"integrade/internal/sim"
@@ -136,4 +141,210 @@ func TestLostDoneNotificationLeavesConsistentState(t *testing.T) {
 	if _, err := h2.WaitSimulated(time.Hour, time.Minute); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// bspAccumulate is the deterministic per-superstep state transition used by
+// the crash-recovery test: the final value depends on every superstep, so a
+// run that restarted from the wrong superstep (or lost state) cannot match.
+func bspAccumulate(acc int64, superstep, pid int) int64 {
+	return acc*31 + int64((superstep+1)*(pid+7))
+}
+
+// TestBSPGangResumesFromSnapshotAfterSilentCrash kills a gang member's node
+// mid-superstep — no eviction notice, a pulled power cord — and asserts the
+// recovery chain end to end: the GRM failure detector declares the node
+// dead, rolls the placeholder gang back together and re-places it on the
+// survivors, the eviction observer aborts the in-flight BSP runtime, and
+// RunBSP restarts from the last checkpoint, producing output identical to a
+// fault-free run.
+func TestBSPGangResumesFromSnapshotAfterSilentCrash(t *testing.T) {
+	const (
+		procs      = 3
+		supersteps = 8
+		ckptEvery  = 2
+	)
+
+	// Fault-free reference run on its own grid.
+	expected := runCrashTestBSP(t, nil)
+
+	g := NewGrid(WithSeed(21))
+	defer g.Stop()
+	c, err := g.AddCluster("c1",
+		WithSchedulePeriod(15*time.Second),
+		WithUpdatePeriod(15*time.Second),
+		WithGRMOptions(grm.WithSuspectAfter(45*time.Second)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddNodes(DedicatedNodes(4, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	engine := g.EnableChaos(7)
+
+	var blockOnce atomic.Bool
+	blockOnce.Store(true)
+	reached := make(chan struct{})
+	release := make(chan struct{})
+	var restoredProcs atomic.Int64
+	var restoredStep atomic.Int64
+	results := make([]int64, procs)
+	var resMu sync.Mutex
+	program := func(p *bsp.Proc) error {
+		var acc int64
+		if st := p.Restored(); st != nil {
+			acc = int64(binary.BigEndian.Uint64(st))
+			restoredProcs.Add(1)
+			restoredStep.Store(int64(p.Superstep()))
+		}
+		p.SetState(func() []byte {
+			var b [8]byte
+			binary.BigEndian.PutUint64(b[:], uint64(acc))
+			return b[:]
+		})
+		for p.Superstep() < supersteps {
+			acc = bspAccumulate(acc, p.Superstep(), p.PID())
+			if p.PID() == 0 && p.Superstep() == 3 && blockOnce.CompareAndSwap(true, false) {
+				close(reached)
+				<-release
+			}
+			if err := p.Sync(); err != nil {
+				return err
+			}
+		}
+		resMu.Lock()
+		results[p.PID()] = acc
+		resMu.Unlock()
+		return nil
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		defer close(done)
+		done <- g.RunBSP(BSPJob{
+			Name:            "crashy",
+			Procs:           procs,
+			Alloc:           resource.Vector{MIPS: 800, RAMMB: 128},
+			CheckpointEvery: ckptEvery,
+			MaxRestarts:     3,
+		}, program)
+	}()
+
+	// Wait for the gang to reach superstep 3 (checkpoint at 2 taken), with
+	// process 0 parked mid-superstep.
+	select {
+	case <-reached:
+	case <-time.After(30 * time.Second):
+		t.Fatal("gang never reached superstep 3")
+	}
+	// Let heartbeats accumulate so the detector has an observed cadence.
+	if err := g.Advance(2 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	// Pick a gang member's node and pull its power cord via the engine.
+	appIDs := c.GRM().AppIDs()
+	if len(appIDs) != 1 {
+		t.Fatalf("app ids = %v", appIDs)
+	}
+	st, err := c.GRM().AppStatus(appIDs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := st.Tasks[0].NodeID
+	if victim == "" {
+		t.Fatalf("placeholder not placed: %+v", st.Tasks)
+	}
+	engine.ScheduleCrash(victim, time.Second, 0)
+	if err := g.Advance(5 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	stats := c.GRM().Stats()
+	if stats.NodesDeclaredDead != 1 {
+		t.Fatalf("NodesDeclaredDead = %d, want 1", stats.NodesDeclaredDead)
+	}
+	if engine.Stats().Crashes != 1 {
+		t.Fatalf("engine crashes = %+v", engine.Stats())
+	}
+	// The runtime was aborted by the eviction observer; release the parked
+	// process so the first attempt unwinds and the retry restores.
+	close(release)
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("RunBSP: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("RunBSP did not finish after recovery")
+	}
+
+	// Every process restored exactly once, from the checkpoint at superstep
+	// 2 (the last one taken before the crash at superstep 3).
+	if got := restoredProcs.Load(); got != procs {
+		t.Fatalf("restored processes = %d, want %d", got, procs)
+	}
+	if got := restoredStep.Load(); got != 2 {
+		t.Fatalf("restored superstep = %d, want 2", got)
+	}
+	resMu.Lock()
+	got := append([]int64(nil), results...)
+	resMu.Unlock()
+	for pid := range expected {
+		if got[pid] != expected[pid] {
+			t.Fatalf("proc %d output %d != fault-free %d", pid, got[pid], expected[pid])
+		}
+	}
+	// The snapshot is dropped after the successful run.
+	if apps := g.Checkpoints().Apps(); len(apps) != 0 {
+		t.Fatalf("snapshots left after success: %v", apps)
+	}
+}
+
+// runCrashTestBSP executes the reference fault-free run and returns the
+// per-process outputs.
+func runCrashTestBSP(t *testing.T, _ []string) []int64 {
+	t.Helper()
+	const (
+		procs      = 3
+		supersteps = 8
+	)
+	g := NewGrid(WithSeed(21))
+	defer g.Stop()
+	c, err := g.AddCluster("c1", WithSchedulePeriod(15*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddNodes(DedicatedNodes(4, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	results := make([]int64, procs)
+	var resMu sync.Mutex
+	program := func(p *bsp.Proc) error {
+		var acc int64
+		p.SetState(func() []byte {
+			var b [8]byte
+			binary.BigEndian.PutUint64(b[:], uint64(acc))
+			return b[:]
+		})
+		for p.Superstep() < supersteps {
+			acc = bspAccumulate(acc, p.Superstep(), p.PID())
+			if err := p.Sync(); err != nil {
+				return err
+			}
+		}
+		resMu.Lock()
+		results[p.PID()] = acc
+		resMu.Unlock()
+		return nil
+	}
+	if err := g.RunBSP(BSPJob{
+		Name:            "reference",
+		Procs:           procs,
+		Alloc:           resource.Vector{MIPS: 800, RAMMB: 128},
+		CheckpointEvery: 2,
+	}, program); err != nil {
+		t.Fatalf("fault-free RunBSP: %v", err)
+	}
+	resMu.Lock()
+	defer resMu.Unlock()
+	return append([]int64(nil), results...)
 }

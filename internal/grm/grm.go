@@ -42,6 +42,16 @@ type Stats struct {
 	Restarts          int
 	WorkLostMI        float64 // progress lost to evictions (beyond checkpoints)
 	AppsCancelled     int
+	NodesDeclaredDead int // nodes evicted by the heartbeat-miss detector
+	TasksPresumedLost int // running tasks rescheduled or abandoned by the detector
+}
+
+// nodeLiveness is the failure detector's record of one node's heartbeats.
+type nodeLiveness struct {
+	lastSeen time.Time
+	interval time.Duration // most recently observed update gap
+	updates  int
+	lrm      orb.ObjectRef
 }
 
 // taskInfo is the GRM-side record of one task.
@@ -90,12 +100,15 @@ type GRM struct {
 	schedPeriod  time.Duration
 	maxAttempts  int
 	backboneMbps float64
+	suspectAfter time.Duration // fixed detector threshold; 0 = adaptive
+	onEviction   func(appID string)
 
-	// mu guards apps, seq, stats, stopped, started and timers. It must be
-	// released before any protocol RPC (Reserve/Execute/...): negotiation
-	// blocks on remote LRMs and may itself re-enter the GRM.
+	// mu guards apps, nodes, seq, stats, stopped, started and timers. It
+	// must be released before any protocol RPC (Reserve/Execute/...):
+	// negotiation blocks on remote LRMs and may itself re-enter the GRM.
 	mu      sync.Mutex
 	apps    map[string]*appInfo
+	nodes   map[string]*nodeLiveness
 	seq     int
 	stats   Stats
 	stopped bool
@@ -142,6 +155,22 @@ func WithLogger(log *slog.Logger) Option {
 	return func(g *GRM) { g.log = log }
 }
 
+// WithSuspectAfter fixes the failure detector's heartbeat-miss threshold: a
+// node silent for longer than d is declared dead. The default (zero) is
+// adaptive — three times the node's observed update interval, floored at
+// the offer TTL — which tolerates slow update cadences without tuning.
+func WithSuspectAfter(d time.Duration) Option {
+	return func(g *GRM) { g.suspectAfter = d }
+}
+
+// WithEvictionObserver registers fn, called outside GRM locks with the app
+// ID whenever the failure detector rolls an application's tasks back. The
+// grid uses it to abort in-process BSP runtimes so they restart from their
+// last checkpoint.
+func WithEvictionObserver(fn func(appID string)) Option {
+	return func(g *GRM) { g.onEviction = fn }
+}
+
 // New returns a GRM for the named cluster. The GRM hosts the cluster's
 // trader internally, mirroring the paper's GRM+Trader cluster-manager node.
 func New(clusterID string, clock sim.Clock, inv orb.Invoker, opts ...Option) *GRM {
@@ -157,6 +186,7 @@ func New(clusterID string, clock sim.Clock, inv orb.Invoker, opts ...Option) *GR
 		maxAttempts:  DefaultMaxAttempts,
 		backboneMbps: 10,
 		apps:         make(map[string]*appInfo),
+		nodes:        make(map[string]*nodeLiveness),
 	}
 	g.trader = trading.NewService(clock.Now)
 	for _, opt := range opts {
@@ -256,6 +286,16 @@ func (g *GRM) HandleUpdate(s protocol.NodeStatus) {
 	if age := now.Sub(s.Timestamp); age > 0 {
 		g.stats.StalenessSum += age
 	}
+	lv := g.nodes[s.NodeID]
+	if lv == nil {
+		lv = &nodeLiveness{}
+		g.nodes[s.NodeID] = lv
+	} else if gap := now.Sub(lv.lastSeen); gap > 0 {
+		lv.interval = gap
+	}
+	lv.lastSeen = now
+	lv.updates++
+	lv.lrm = s.LRMRef
 	g.mu.Unlock()
 }
 
@@ -292,8 +332,11 @@ func (g *GRM) Submit(spec protocol.ApplicationSpec) (string, error) {
 }
 
 // SchedulePending runs one scheduling pass over every app with pending
-// tasks, in submission order.
+// tasks, in submission order. Each pass first runs the failure detector, so
+// tasks orphaned by a dead node re-enter the pending set and are replaced
+// in the same pass.
 func (g *GRM) SchedulePending() {
+	g.detectFailures()
 	g.mu.Lock()
 	apps := make([]*appInfo, 0, len(g.apps))
 	for _, a := range g.apps {
@@ -501,6 +544,147 @@ func (g *GRM) reserveAndExecuteGang(app *appInfo, pending []*taskInfo, ordered [
 		g.mu.Unlock()
 	}
 	return true
+}
+
+// detectFailures declares dead every node whose heartbeats have stopped for
+// longer than its suspect threshold, withdraws its trader offers and rolls
+// back its in-flight tasks. A node needs at least two observed updates
+// before it can be suspected: the threshold is derived from its cadence.
+func (g *GRM) detectFailures() {
+	now := g.clock.Now()
+	type deadNode struct {
+		id  string
+		ref orb.ObjectRef
+	}
+	g.mu.Lock()
+	ids := make([]string, 0, len(g.nodes))
+	for id := range g.nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var dead []deadNode
+	for _, id := range ids {
+		lv := g.nodes[id]
+		if lv.updates < 2 {
+			continue
+		}
+		threshold := g.suspectAfter
+		if threshold <= 0 {
+			// Adaptive: three missed heartbeats at the node's own cadence,
+			// never tighter than the offer TTL the trader already tolerates.
+			threshold = 3 * lv.interval
+			if threshold < g.offerTTL {
+				threshold = g.offerTTL
+			}
+		}
+		if now.Sub(lv.lastSeen) > threshold {
+			dead = append(dead, deadNode{id: id, ref: lv.lrm})
+			delete(g.nodes, id) // a restarted node re-registers on its next update
+			g.stats.NodesDeclaredDead++
+		}
+	}
+	g.mu.Unlock()
+	for _, d := range dead {
+		g.trader.WithdrawRef(NodeStatusType, d.ref)
+		g.evictNodeTasks(d.id)
+	}
+}
+
+// evictNodeTasks rolls back every application with running tasks on a node
+// just declared dead. Bag-of-tasks apps lose only the dead node's tasks;
+// BSP gangs roll back together — surviving members are cancelled on their
+// LRMs and the whole gang re-enters pending at the lowest member checkpoint,
+// since processes blocked at a barrier can make no progress without the
+// lost peer. With RestartEvicted unset the affected tasks are abandoned.
+func (g *GRM) evictNodeTasks(nodeID string) {
+	type cancelTarget struct {
+		taskID string
+		ref    orb.ObjectRef
+	}
+	var cancels []cancelTarget
+	var affected []string
+
+	g.mu.Lock()
+	appIDs := make([]string, 0, len(g.apps))
+	for id := range g.apps {
+		appIDs = append(appIDs, id)
+	}
+	sort.Strings(appIDs)
+	for _, appID := range appIDs {
+		app := g.apps[appID]
+		hit := false
+		for _, t := range app.tasks {
+			if t.state == protocol.TaskRunning && t.nodeID == nodeID {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			continue
+		}
+		gang := app.spec.Kind == protocol.AppBSP
+		boundary := func(progress float64) float64 {
+			if app.spec.CheckpointEveryWork <= 0 {
+				return 0
+			}
+			intervals := int(progress / app.spec.CheckpointEveryWork)
+			return float64(intervals) * app.spec.CheckpointEveryWork
+		}
+		// A gang restarts from the lowest checkpoint any member holds.
+		gangCkpt := -1.0
+		if gang {
+			for _, t := range app.tasks {
+				if t.state != protocol.TaskRunning {
+					continue
+				}
+				if b := boundary(t.progress); gangCkpt < 0 || b < gangCkpt {
+					gangCkpt = b
+				}
+			}
+		}
+		for _, t := range app.tasks {
+			lost := t.state == protocol.TaskRunning && t.nodeID == nodeID
+			survivor := gang && !lost && t.state == protocol.TaskRunning
+			if !lost && !survivor {
+				continue
+			}
+			if survivor {
+				cancels = append(cancels, cancelTarget{taskID: t.id, ref: t.lrm})
+			}
+			if lost {
+				g.stats.TasksEvicted++
+				g.stats.TasksPresumedLost++
+			}
+			if !app.spec.RestartEvicted {
+				g.stats.WorkLostMI += t.progress
+				t.state = protocol.TaskEvicted
+				continue
+			}
+			ckpt := boundary(t.progress)
+			if gang && gangCkpt >= 0 {
+				ckpt = gangCkpt
+			}
+			g.stats.WorkLostMI += t.progress - ckpt
+			t.initialProgress = ckpt
+			t.state = protocol.TaskPending
+			t.restarts++
+			g.stats.Restarts++
+		}
+		affected = append(affected, appID)
+	}
+	observer := g.onEviction
+	g.mu.Unlock()
+
+	for _, c := range cancels {
+		if _, err := protocol.NewLRMClient(g.inv, c.ref).Cancel(c.taskID); err != nil {
+			g.log.Debug("gang cancel RPC failed", "task", c.taskID, "err", err)
+		}
+	}
+	if observer != nil {
+		for _, appID := range affected {
+			observer(appID)
+		}
+	}
 }
 
 // HandleNotify processes an LRM task event.

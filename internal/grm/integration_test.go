@@ -599,3 +599,133 @@ func TestConstraintExpressionFiltersNodes(t *testing.T) {
 		t.Fatalf("placed on %q despite lan constraint", st.Tasks[0].NodeID)
 	}
 }
+
+func TestFailureDetectorReschedulesSilentCrash(t *testing.T) {
+	// Two dedicated nodes; the task's node goes silent (no eviction notice,
+	// no further heartbeats — a pulled power cord). The heartbeat-miss
+	// detector must declare it dead, withdraw its offer, and reschedule the
+	// task on the survivor from its last checkpoint boundary.
+	c := newCluster(t, dedicated(2, 1000),
+		grm.WithSuspectAfter(45*time.Second))
+	id := c.submit(protocol.ApplicationSpec{
+		Name:                "silent",
+		Kind:                protocol.AppSequential,
+		NumTasks:            1,
+		WorkPerTask:         20 * 60 * 1000, // 20 min at 1000 MIPS
+		Alloc:               resource.Vector{MIPS: 900, RAMMB: 64},
+		CheckpointEveryWork: 2 * 60 * 1000, // every 2 min
+		RestartEvicted:      true,
+	})
+	st := c.status(id)
+	if st.Tasks[0].State != protocol.TaskRunning {
+		t.Fatalf("task not placed: %+v", st.Tasks[0])
+	}
+	victim := st.Tasks[0].NodeID
+
+	// Let it run past a checkpoint, then crash its LRM silently.
+	c.clock.Advance(5 * time.Minute)
+	for i, l := range c.lrms {
+		if c.nodes[i].ID() == victim {
+			l.Stop()
+		}
+	}
+	// Detector threshold 45s + schedule period 15s: well within 3 minutes.
+	c.clock.Advance(3 * time.Minute)
+	stats := c.g.Stats()
+	if stats.NodesDeclaredDead != 1 {
+		t.Fatalf("NodesDeclaredDead = %d, want 1", stats.NodesDeclaredDead)
+	}
+	if stats.TasksPresumedLost != 1 {
+		t.Fatalf("TasksPresumedLost = %d, want 1", stats.TasksPresumedLost)
+	}
+	st = c.status(id)
+	if st.Tasks[0].NodeID == victim {
+		t.Fatalf("task still on dead node %q", victim)
+	}
+	if st.Tasks[0].Restarts < 1 {
+		t.Fatalf("task restarts = %d, want >= 1", st.Tasks[0].Restarts)
+	}
+	// Rollback is bounded by one checkpoint interval.
+	if stats.WorkLostMI > 2*60*1000 {
+		t.Fatalf("WorkLostMI = %v, want <= one interval", stats.WorkLostMI)
+	}
+	// The survivor finishes the remaining work.
+	c.clock.Advance(25 * time.Minute)
+	if !c.status(id).Done() {
+		t.Fatalf("app not done after reschedule: %+v", c.status(id).Tasks)
+	}
+}
+
+func TestFailureDetectorRollsBackGangTogether(t *testing.T) {
+	// A 3-process BSP gang on 4 nodes. When one member's node dies
+	// silently, the survivors are stuck at the next barrier: the detector
+	// must cancel them and roll the whole gang back to a common checkpoint,
+	// then replace all three on the remaining nodes.
+	c := newCluster(t, dedicated(4, 600),
+		grm.WithSuspectAfter(45*time.Second))
+	id := c.submit(protocol.ApplicationSpec{
+		Name:                "gang",
+		Kind:                protocol.AppBSP,
+		NumTasks:            3,
+		WorkPerTask:         10 * 60 * 600, // 10 min at 600 MIPS
+		Alloc:               resource.Vector{MIPS: 500, RAMMB: 128},
+		CheckpointEveryWork: 60 * 600, // every minute
+		RestartEvicted:      true,
+	})
+	st := c.status(id)
+	victim := ""
+	for _, task := range st.Tasks {
+		if task.State != protocol.TaskRunning {
+			t.Fatalf("gang not fully placed: %+v", st.Tasks)
+		}
+		victim = task.NodeID
+	}
+
+	c.clock.Advance(3 * time.Minute)
+	for i, l := range c.lrms {
+		if c.nodes[i].ID() == victim {
+			l.Stop()
+		}
+	}
+	c.clock.Advance(3 * time.Minute)
+	stats := c.g.Stats()
+	if stats.NodesDeclaredDead != 1 {
+		t.Fatalf("NodesDeclaredDead = %d, want 1", stats.NodesDeclaredDead)
+	}
+	st = c.status(id)
+	for _, task := range st.Tasks {
+		if task.Restarts < 1 {
+			t.Fatalf("gang member %s not rolled back: %+v", task.TaskID, task)
+		}
+		if task.NodeID == victim && task.State == protocol.TaskRunning {
+			t.Fatalf("task still running on dead node: %+v", task)
+		}
+	}
+	// The gang re-placed on the three surviving nodes finishes.
+	c.clock.Advance(15 * time.Minute)
+	if !c.status(id).Done() {
+		t.Fatalf("gang not done after rollback: %+v", c.status(id).Tasks)
+	}
+}
+
+func TestFailureDetectorAdaptiveThresholdTolerantOfSlowCadence(t *testing.T) {
+	// A node updating every 5 minutes must NOT be declared dead by the
+	// adaptive threshold (3x its cadence), even though that is far beyond
+	// the default offer TTL.
+	c := newCluster(t, dedicated(1, 1000))
+	// Replace the default 15s cadence: stop the LRM's timers and heartbeat
+	// manually every 5 minutes.
+	c.lrms[0].Stop()
+	for i := 0; i < 6; i++ {
+		c.clock.Advance(5 * time.Minute)
+		c.lrms[0].SendUpdate()
+	}
+	if got := c.g.Stats().NodesDeclaredDead; got != 0 {
+		t.Fatalf("slow-cadence node declared dead %d times", got)
+	}
+	// Going silent for 3x the cadence does trip it.
+	c.clock.Advance(16 * time.Minute)
+	if got := c.g.Stats().NodesDeclaredDead; got != 1 {
+		t.Fatalf("NodesDeclaredDead = %d after prolonged silence, want 1", got)
+	}
+}

@@ -25,3 +25,36 @@ func TestRepoIsClean(t *testing.T) {
 		t.Errorf("%s", d)
 	}
 }
+
+// TestChaosHoldsNoLockAcrossCallouts pins the fault-injection engine under
+// the lock-discipline analyzers. The chaos engine sits on the ORB's hot
+// path and fires user callouts (delivery closures, crash/restart hooks,
+// scheduled fault events) that may block or re-enter the engine: holding
+// the engine mutex across any of them would deadlock the virtual clock.
+// TestRepoIsClean already covers the module; this test additionally fails
+// if internal/chaos ever drops out of the analyzed set.
+func TestChaosHoldsNoLockAcrossCallouts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	pkgs, err := lint.Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	found := false
+	for _, p := range pkgs {
+		if p.PkgPath == "integrade/internal/chaos" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("integrade/internal/chaos is not in the analyzed package set")
+	}
+	diags, err := lint.Run(pkgs, []*lint.Analyzer{lint.LockHeld, lint.LockHeldTransitive})
+	if err != nil {
+		t.Fatalf("running lockheld analyzers: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

@@ -2,7 +2,9 @@ package orb
 
 import (
 	"bufio"
+	"errors"
 	"net"
+	"os"
 	"sync"
 	"time"
 )
@@ -16,13 +18,25 @@ type Invoker interface {
 // Client invokes objects on remote TCP ORB servers. It maintains one
 // multiplexed connection per endpoint, created lazily and re-dialed after
 // failures. It is safe for concurrent use.
+//
+// Every call runs under a per-call budget (WithCallTimeout): the budget
+// bounds the dial, the socket write, and the reply wait, so a hung peer can
+// never block Invoke indefinitely. Failures are classified by Retryable;
+// with WithRetries the client re-sends retryable failures under capped
+// exponential backoff with deterministic jitter, and WithBreaker adds a
+// per-endpoint circuit breaker that fails fast while an endpoint is down.
 type Client struct {
 	dialTimeout time.Duration
 	callTimeout time.Duration
+	maxRetries  int
+	backoff     BackoffPolicy
+	breakers    *breakerSet
+	sleep       func(time.Duration) // pacing hook, replaceable in tests
 
-	// mu guards conns.
-	mu    sync.Mutex
-	conns map[string]*clientConn
+	// mu guards conns and interceptor.
+	mu          sync.Mutex
+	conns       map[string]*clientConn
+	interceptor Interceptor
 	// wg tracks background teardown of superseded connections so Close can
 	// wait for every goroutine the client started.
 	wg sync.WaitGroup
@@ -38,9 +52,31 @@ func WithDialTimeout(d time.Duration) ClientOption {
 	return func(c *Client) { c.dialTimeout = d }
 }
 
-// WithCallTimeout sets the per-invocation timeout (default 30s).
+// WithCallTimeout sets the per-invocation budget (default 30s). The budget
+// covers the write and the reply wait of one delivery attempt.
 func WithCallTimeout(d time.Duration) ClientOption {
 	return func(c *Client) { c.callTimeout = d }
+}
+
+// WithRetries allows up to n additional delivery attempts after a retryable
+// failure (default 0: fail on the first error, preserving at-most-once
+// semantics for non-idempotent operations).
+func WithRetries(n int) ClientOption {
+	return func(c *Client) { c.maxRetries = n }
+}
+
+// WithBackoff sets the retry pacing policy (default DefaultBackoff).
+func WithBackoff(p BackoffPolicy) ClientOption {
+	return func(c *Client) { c.backoff = p }
+}
+
+// WithBreaker enables the per-endpoint circuit breaker.
+func WithBreaker(p BreakerPolicy) ClientOption {
+	return func(c *Client) {
+		if p.Threshold > 0 {
+			c.breakers = newBreakerSet(p, time.Now)
+		}
+	}
 }
 
 // NewClient returns a Client ready to invoke.
@@ -48,6 +84,8 @@ func NewClient(opts ...ClientOption) *Client {
 	c := &Client{
 		dialTimeout: 5 * time.Second,
 		callTimeout: 30 * time.Second,
+		backoff:     DefaultBackoff,
+		sleep:       time.Sleep,
 		conns:       make(map[string]*clientConn),
 	}
 	for _, opt := range opts {
@@ -56,15 +94,68 @@ func NewClient(opts ...ClientOption) *Client {
 	return c
 }
 
+// SetInterceptor installs (or clears, with nil) the fault-injection hook
+// consulted once per delivery attempt.
+func (c *Client) SetInterceptor(ic Interceptor) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.interceptor = ic
+}
+
+// BreakerState returns the circuit state ("closed", "open", "half-open")
+// for an endpoint address (observability, tests).
+func (c *Client) BreakerState(addr string) string {
+	if c.breakers == nil {
+		return "closed"
+	}
+	return c.breakers.stateOf(addr)
+}
+
 // Invoke implements Invoker for tcp references.
 func (c *Client) Invoke(ref ObjectRef, op string, arg []byte) ([]byte, error) {
 	if ref.Endpoint.Net != NetTCP {
 		return nil, Errorf(CodeTransport, "client cannot reach %s endpoint %s", ref.Endpoint.Net, ref.Endpoint)
 	}
-	// One reconnect attempt on a stale pooled connection.
+	addr := ref.Endpoint.Addr
+	var lastErr error
+	for attempt := 0; attempt <= c.maxRetries; attempt++ {
+		if attempt > 0 {
+			c.sleep(c.backoff.Delay(addr, op, attempt))
+		}
+		if c.breakers != nil && !c.breakers.allow(addr) {
+			lastErr = Errorf(CodeTransport, "circuit open for %s", addr)
+			continue
+		}
+		reply, err := c.attempt(ref, op, arg)
+		if c.breakers != nil {
+			c.breakers.record(addr, err)
+		}
+		if err == nil || !Retryable(err) {
+			return reply, err
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// attempt performs one delivery attempt, routed through the interceptor.
+func (c *Client) attempt(ref ObjectRef, op string, arg []byte) ([]byte, error) {
+	c.mu.Lock()
+	ic := c.interceptor
+	c.mu.Unlock()
+	next := func() ([]byte, error) { return c.exchange(ref, op, arg) }
+	return deliver(ic, ref.Endpoint, ref.Key, op, arg, next)
+}
+
+// exchange sends one request over the pooled connection and awaits the
+// reply, re-dialing once if the pooled connection proved stale.
+func (c *Client) exchange(ref ObjectRef, op string, arg []byte) ([]byte, error) {
 	for attempt := 0; ; attempt++ {
 		cc, fresh, err := c.conn(ref.Endpoint.Addr)
 		if err != nil {
+			if isDeadlineErr(err) {
+				return nil, Errorf(CodeTimeout, "dial %s: %v", ref.Endpoint.Addr, err)
+			}
 			return nil, Errorf(CodeTransport, "dial %s: %v", ref.Endpoint.Addr, err)
 		}
 		reply, err := cc.call(ref.Key, op, arg, c.callTimeout)
@@ -130,18 +221,36 @@ func (c *Client) drop(addr string, cc *clientConn) {
 	cc.close()
 }
 
+// isDeadlineErr reports whether err stems from an expired socket deadline.
+func isDeadlineErr(err error) bool {
+	if errors.Is(err, os.ErrDeadlineExceeded) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
 // clientConn is one multiplexed connection: concurrent calls are assigned
 // request IDs; a reader goroutine demultiplexes replies to waiting callers.
+//
+// Hung-peer defense is three-layered: the socket write deadline bounds a
+// peer that stops draining its receive buffer; a call that times out having
+// seen no frame at all since it was sent declares the connection wedged and
+// kills it so the pool re-dials; and while calls are pending a read deadline
+// of twice the largest pending budget is armed as a backstop, generous
+// enough never to race the per-call timers.
 type clientConn struct {
 	conn   net.Conn
 	writer *bufio.Writer
 
-	// mu guards nextID, pending and dead, and serializes request frames
-	// onto writer. done is closed by readLoop on exit and is otherwise
-	// written only at construction.
+	// mu guards nextID, frames, pending, budgets and dead, and serializes
+	// request frames onto writer. done is closed by readLoop on exit and is
+	// otherwise written only at construction.
 	mu      sync.Mutex
 	nextID  uint64
+	frames  uint64 // frames received, ever — progress marker
 	pending map[uint64]chan *frame
+	budgets map[uint64]time.Duration
 	dead    bool
 	done    chan struct{}
 }
@@ -151,6 +260,7 @@ func newClientConn(conn net.Conn) *clientConn {
 		conn:    conn,
 		writer:  bufio.NewWriter(conn),
 		pending: make(map[uint64]chan *frame),
+		budgets: make(map[uint64]time.Duration),
 		done:    make(chan struct{}),
 	}
 	go cc.readLoop()
@@ -168,7 +278,26 @@ func (cc *clientConn) close() {
 	<-cc.done
 }
 
-func (cc *clientConn) call(key, op string, arg []byte, timeout time.Duration) ([]byte, error) {
+// armWatchdogLocked (re)sets the connection read deadline from the pending
+// budgets: no pending calls clears it, otherwise a backstop deadline of
+// twice the largest pending budget is armed — generous enough that the
+// per-call timers always fire first, but bounding the read loop even if a
+// caller abandons its timer.
+func (cc *clientConn) armWatchdogLocked() {
+	var budget time.Duration
+	for _, b := range cc.budgets {
+		if b > budget {
+			budget = b
+		}
+	}
+	if budget <= 0 {
+		_ = cc.conn.SetReadDeadline(time.Time{})
+		return
+	}
+	_ = cc.conn.SetReadDeadline(time.Now().Add(2 * budget))
+}
+
+func (cc *clientConn) call(key, op string, arg []byte, budget time.Duration) ([]byte, error) {
 	ch := make(chan *frame, 1)
 
 	cc.mu.Lock()
@@ -178,7 +307,14 @@ func (cc *clientConn) call(key, op string, arg []byte, timeout time.Duration) ([
 	}
 	cc.nextID++
 	id := cc.nextID
+	framesAtSend := cc.frames
 	cc.pending[id] = ch
+	cc.budgets[id] = budget
+	cc.armWatchdogLocked()
+	// The write deadline bounds the socket write by the call budget: a peer
+	// that stops draining its receive buffer cannot wedge this call — or
+	// every later call serialized on mu — forever.
+	_ = cc.conn.SetWriteDeadline(time.Now().Add(budget))
 	err := writeFrame(cc.writer, &frame{kind: msgRequest, reqID: id, key: key, op: op, body: arg})
 	if err == nil {
 		err = cc.writer.Flush()
@@ -188,10 +324,13 @@ func (cc *clientConn) call(key, op string, arg []byte, timeout time.Duration) ([
 	if err != nil {
 		cc.forget(id)
 		cc.failAll()
+		if isDeadlineErr(err) {
+			return nil, Errorf(CodeTimeout, "send %s.%s: write deadline exceeded after %v", key, op, budget)
+		}
 		return nil, Errorf(CodeTransport, "send: %v", err)
 	}
 
-	timer := time.NewTimer(timeout)
+	timer := time.NewTimer(budget)
 	defer timer.Stop()
 	select {
 	case f := <-ch:
@@ -204,13 +343,28 @@ func (cc *clientConn) call(key, op string, arg []byte, timeout time.Duration) ([
 		return f.body, nil
 	case <-timer.C:
 		cc.forget(id)
-		return nil, Errorf(CodeTimeout, "%s.%s timed out after %v", key, op, timeout)
+		// A full budget with no frame at all — not even a reply to some
+		// other call — means the peer is wedged, not merely slow. Kill the
+		// connection so the pool re-dials instead of caching it forever.
+		if !cc.progressedSince(framesAtSend) {
+			cc.failAll()
+		}
+		return nil, Errorf(CodeTimeout, "%s.%s timed out after %v", key, op, budget)
 	}
+}
+
+// progressedSince reports whether any frame arrived after the snapshot.
+func (cc *clientConn) progressedSince(framesAtSend uint64) bool {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.frames != framesAtSend
 }
 
 func (cc *clientConn) forget(id uint64) {
 	cc.mu.Lock()
 	delete(cc.pending, id)
+	delete(cc.budgets, id)
+	cc.armWatchdogLocked()
 	cc.mu.Unlock()
 }
 
@@ -224,10 +378,15 @@ func (cc *clientConn) readLoop() {
 			return
 		}
 		cc.mu.Lock()
+		cc.frames++
 		ch, ok := cc.pending[f.reqID]
 		if ok {
 			delete(cc.pending, f.reqID)
+			delete(cc.budgets, f.reqID)
 		}
+		// Any received frame is progress: re-arm the watchdog for whatever
+		// is still pending.
+		cc.armWatchdogLocked()
 		cc.mu.Unlock()
 		if ok {
 			ch <- f
@@ -253,6 +412,7 @@ func (cc *clientConn) failAllLocked() {
 	cc.dead = true
 	pending := cc.pending
 	cc.pending = make(map[uint64]chan *frame)
+	cc.budgets = make(map[uint64]time.Duration)
 	cc.mu.Unlock()
 	_ = cc.conn.Close()
 	for _, ch := range pending {

@@ -1,0 +1,38 @@
+package orb
+
+// Interceptor is the single fault-injection and observation hook shared by
+// every ORB transport. Both the in-process Loopback and the TCP Client
+// consult the installed interceptor once per delivery attempt, so a fault
+// engine (internal/chaos) injects message drop, delay and duplication
+// through one code path regardless of how a reference is reached.
+//
+// next performs the actual delivery (adapter dispatch for loopback, a
+// framed request/reply exchange for TCP) and may be called zero times (drop),
+// once (normal delivery), or more than once / asynchronously (duplication,
+// delayed redelivery). Implementations must be safe for concurrent use and
+// must not hold locks across the next call.
+type Interceptor interface {
+	Intercept(target Endpoint, key, op string, arg []byte, next func() ([]byte, error)) ([]byte, error)
+}
+
+// deliver routes one delivery attempt through ic when installed.
+func deliver(ic Interceptor, target Endpoint, key, op string, arg []byte, next func() ([]byte, error)) ([]byte, error) {
+	if ic == nil {
+		return next()
+	}
+	return ic.Intercept(target, key, op, arg, next)
+}
+
+// faultPolicyInterceptor adapts the legacy Loopback fault hook — a
+// drop-or-deliver predicate — onto the shared Interceptor code path.
+type faultPolicyInterceptor struct {
+	policy FaultPolicy
+}
+
+// Intercept implements Interceptor.
+func (f faultPolicyInterceptor) Intercept(target Endpoint, key, op string, _ []byte, next func() ([]byte, error)) ([]byte, error) {
+	if err := f.policy(target, key, op); err != nil {
+		return nil, err
+	}
+	return next()
+}

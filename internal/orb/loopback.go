@@ -8,13 +8,14 @@ import (
 // a registry name; invocations are direct function calls, which makes
 // thousand-node simulations deterministic and fast.
 //
-// A FaultPolicy may be installed to inject message loss and delivery errors
-// for failure-injection tests, emulating an unreliable network.
+// An Interceptor may be installed to inject message loss, delay and
+// duplication for failure-injection tests, emulating an unreliable network;
+// internal/chaos provides the standard engine.
 type Loopback struct {
-	// mu guards adapters and fault.
-	mu       sync.RWMutex
-	adapters map[string]*Adapter
-	fault    FaultPolicy
+	// mu guards adapters and interceptor.
+	mu          sync.RWMutex
+	adapters    map[string]*Adapter
+	interceptor Interceptor
 }
 
 var _ Invoker = (*Loopback)(nil)
@@ -22,6 +23,10 @@ var _ Invoker = (*Loopback)(nil)
 // FaultPolicy decides the fate of one in-process invocation. Return nil to
 // deliver normally; return an error (typically CodeTransport) to simulate a
 // lost or failed message.
+//
+// It is the legacy drop-only hook: SetFaultPolicy adapts it onto the shared
+// Interceptor path. New code should install an Interceptor (for example a
+// chaos.Engine), which also models delay and duplication.
 type FaultPolicy func(target Endpoint, key, op string) error
 
 // NewLoopback returns an empty in-process transport.
@@ -29,11 +34,21 @@ func NewLoopback() *Loopback {
 	return &Loopback{adapters: make(map[string]*Adapter)}
 }
 
-// SetFaultPolicy installs (or clears, with nil) the fault-injection hook.
-func (l *Loopback) SetFaultPolicy(p FaultPolicy) {
+// SetInterceptor installs (or clears, with nil) the fault-injection hook.
+func (l *Loopback) SetInterceptor(ic Interceptor) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.fault = p
+	l.interceptor = ic
+}
+
+// SetFaultPolicy installs (or clears, with nil) a drop-only fault hook. It
+// is a thin adapter over SetInterceptor kept for existing tests.
+func (l *Loopback) SetFaultPolicy(p FaultPolicy) {
+	if p == nil {
+		l.SetInterceptor(nil)
+		return
+	}
+	l.SetInterceptor(faultPolicyInterceptor{policy: p})
 }
 
 // Bind registers adapter under name and returns its endpoint.
@@ -64,23 +79,26 @@ func (l *Loopback) Invoke(ref ObjectRef, op string, arg []byte) ([]byte, error) 
 		return nil, Errorf(CodeTransport, "loopback cannot reach %s endpoint", ref.Endpoint.Net)
 	}
 	l.mu.RLock()
-	adapter, ok := l.adapters[ref.Endpoint.Addr]
-	fault := l.fault
+	ic := l.interceptor
 	l.mu.RUnlock()
-	if fault != nil {
-		if err := fault(ref.Endpoint, ref.Key, op); err != nil {
-			return nil, err
+	// next performs one delivery; the interceptor may call it zero, one or
+	// several times (drop / deliver / duplicate), possibly asynchronously.
+	next := func() ([]byte, error) {
+		l.mu.RLock()
+		adapter, ok := l.adapters[ref.Endpoint.Addr]
+		l.mu.RUnlock()
+		if !ok {
+			return nil, Errorf(CodeTransport, "no loopback server %q", ref.Endpoint.Addr)
 		}
+		// Copy the argument: a real transport would serialize, so servants
+		// must not be able to alias the caller's buffer. Each (re)delivery
+		// makes its own copy.
+		var argCopy []byte
+		if arg != nil {
+			argCopy = make([]byte, len(arg))
+			copy(argCopy, arg)
+		}
+		return adapter.dispatch(ref.Key, op, argCopy)
 	}
-	if !ok {
-		return nil, Errorf(CodeTransport, "no loopback server %q", ref.Endpoint.Addr)
-	}
-	// Copy the argument: a real transport would serialize, so servants must
-	// not be able to alias the caller's buffer.
-	var argCopy []byte
-	if arg != nil {
-		argCopy = make([]byte, len(arg))
-		copy(argCopy, arg)
-	}
-	return adapter.dispatch(ref.Key, op, argCopy)
+	return deliver(ic, ref.Endpoint, ref.Key, op, arg, next)
 }

@@ -45,6 +45,13 @@ func New(opts ...Option) *ORB {
 // and installing fault policies).
 func (o *ORB) Loopback() *Loopback { return o.loopback }
 
+// SetInterceptor installs (or clears, with nil) one fault-injection hook on
+// both transports, so a chaos engine sees every invocation the ORB routes.
+func (o *ORB) SetInterceptor(ic Interceptor) {
+	o.loopback.SetInterceptor(ic)
+	o.client.SetInterceptor(ic)
+}
+
 // Invoke implements Invoker, routing by the reference's transport.
 func (o *ORB) Invoke(ref ObjectRef, op string, arg []byte) ([]byte, error) {
 	switch ref.Endpoint.Net {

@@ -1,6 +1,7 @@
 package orb
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -103,6 +104,13 @@ type RemoteError struct {
 // Error implements the error interface.
 func (e *RemoteError) Error() string {
 	return fmt.Sprintf("orb: %s: %s", e.Code, e.Msg)
+}
+
+// Is lets errors.Is treat timeout-class invocation failures as the standard
+// context.DeadlineExceeded, so callers can handle ORB deadlines with the
+// same code path they use for context-bounded local work.
+func (e *RemoteError) Is(target error) bool {
+	return target == context.DeadlineExceeded && e.Code == CodeTimeout
 }
 
 // Errorf builds a RemoteError.

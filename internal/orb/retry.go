@@ -1,0 +1,183 @@
+package orb
+
+import (
+	"sync"
+	"time"
+)
+
+// Retryable classifies an invocation error: transport failures and timeouts
+// are worth retrying (the request may never have reached the servant, or a
+// redial may reach a recovered peer), while application-level errors —
+// servant errors, unknown objects or operations, marshalling failures — are
+// terminal: re-sending the same request can only fail the same way.
+func Retryable(err error) bool {
+	return IsCode(err, CodeTransport) || IsCode(err, CodeTimeout)
+}
+
+// BackoffPolicy computes capped exponential retry delays with deterministic
+// jitter: attempt n waits min(Cap, Base<<n), scaled by a factor in
+// [0.5, 1.0) derived by hashing the endpoint, operation and attempt number.
+// The jitter de-synchronizes clients retrying against the same recovering
+// endpoint without introducing a random source, so a fixed fault schedule
+// reproduces identical timings.
+type BackoffPolicy struct {
+	Base time.Duration // first retry delay (default 50ms)
+	Cap  time.Duration // upper bound on any delay (default 5s)
+}
+
+// DefaultBackoff is the client's standard retry pacing.
+var DefaultBackoff = BackoffPolicy{Base: 50 * time.Millisecond, Cap: 5 * time.Second}
+
+// Delay returns the pause before retry attempt n (n >= 1) of op against addr.
+func (b BackoffPolicy) Delay(addr, op string, attempt int) time.Duration {
+	base := b.Base
+	if base <= 0 {
+		base = DefaultBackoff.Base
+	}
+	capd := b.Cap
+	if capd <= 0 {
+		capd = DefaultBackoff.Cap
+	}
+	d := base
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= capd {
+			d = capd
+			break
+		}
+	}
+	if d > capd {
+		d = capd
+	}
+	// Deterministic jitter in [0.5, 1.0): fraction from an FNV-1a hash of
+	// the call identity and attempt index.
+	h := uint64(14695981039346656037)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= 1099511628211
+		}
+	}
+	mix(addr)
+	mix(op)
+	h ^= uint64(attempt)
+	h *= 1099511628211
+	frac := 0.5 + 0.5*float64(h>>11)/float64(1<<53)
+	return time.Duration(float64(d) * frac)
+}
+
+// Breaker states.
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// BreakerPolicy configures the per-endpoint circuit breaker: after Threshold
+// consecutive retryable failures the endpoint's circuit opens and calls fail
+// fast for Cooldown; the first call after the cooldown is a half-open probe
+// whose outcome closes the circuit again or re-opens it.
+type BreakerPolicy struct {
+	Threshold int           // consecutive failures to open (<=0 disables)
+	Cooldown  time.Duration // open duration before a probe (default 30s)
+}
+
+// breaker is one endpoint's circuit state.
+type breaker struct {
+	state    int
+	failures int
+	openedAt time.Time
+}
+
+// breakerSet tracks circuit state per endpoint address.
+type breakerSet struct {
+	policy BreakerPolicy
+	now    func() time.Time
+
+	// mu guards byAddr and the breakers it holds.
+	mu     sync.Mutex
+	byAddr map[string]*breaker
+}
+
+func newBreakerSet(p BreakerPolicy, now func() time.Time) *breakerSet {
+	if p.Cooldown <= 0 {
+		p.Cooldown = 30 * time.Second
+	}
+	return &breakerSet{policy: p, now: now, byAddr: make(map[string]*breaker)}
+}
+
+// allow reports whether a call to addr may proceed. A call allowed while the
+// circuit is open is the half-open probe; exactly one probe is admitted per
+// cooldown expiry.
+func (s *breakerSet) allow(addr string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	br, ok := s.byAddr[addr]
+	if !ok {
+		return true
+	}
+	switch br.state {
+	case breakerOpen:
+		if s.now().Sub(br.openedAt) < s.policy.Cooldown {
+			return false
+		}
+		br.state = breakerHalfOpen
+		return true
+	case breakerHalfOpen:
+		// A probe is already in flight; fail fast until it resolves.
+		return false
+	default:
+		return true
+	}
+}
+
+// record feeds a call outcome back into addr's circuit. Only retryable
+// failures count against the threshold: application-level errors prove the
+// endpoint is reachable and reset the streak like a success.
+func (s *breakerSet) record(addr string, err error) {
+	failed := err != nil && Retryable(err)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	br := s.byAddr[addr]
+	if br == nil {
+		if !failed {
+			return
+		}
+		br = &breaker{}
+		s.byAddr[addr] = br
+	}
+	if !failed {
+		br.state = breakerClosed
+		br.failures = 0
+		return
+	}
+	switch br.state {
+	case breakerHalfOpen:
+		br.state = breakerOpen
+		br.openedAt = s.now()
+	default:
+		br.failures++
+		if br.failures >= s.policy.Threshold {
+			br.state = breakerOpen
+			br.openedAt = s.now()
+		}
+	}
+}
+
+// stateOf returns addr's circuit state name (observability, tests).
+func (s *breakerSet) stateOf(addr string) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	br, ok := s.byAddr[addr]
+	if !ok {
+		return "closed"
+	}
+	switch br.state {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
