@@ -6,7 +6,7 @@ FUZZ_SMOKE_TIME ?= 30s
 # Seeds the chaos target sweeps; each runs the fault-injection suite once.
 CHAOS_SEEDS ?= 1 7 42
 
-.PHONY: all build test race vet lint interproc-lint fuzz-smoke fmt-check chaos ci
+.PHONY: all build test race vet lint interproc-lint fuzz-smoke fmt-check chaos bench-orb bench-orb-check ci
 
 all: build
 
@@ -51,5 +51,20 @@ chaos:
 			./internal/chaos ./internal/orb ./internal/grm ./internal/core || exit 1; \
 	done
 
+# ORB hot-path performance: the E12 microbenchmarks with allocation counts,
+# then the machine-readable report checked in as BENCH_orb.json (compare it
+# against the embedded pre_optimization_baseline block).
+bench-orb:
+	$(GO) test -run '^$$' -bench 'Invoke' -benchmem ./internal/orb
+	$(GO) test -run '^$$' -bench 'Select' -benchmem ./internal/trading
+	$(GO) run ./cmd/integrade-bench -orb-json BENCH_orb.json
+
+# CI smoke variant: short measurement budget, report to a scratch path, plus
+# the allocation gate (loopback invoke must stay within
+# internal/orb/testdata/alloc_budget.txt).
+bench-orb-check:
+	$(GO) test -run TestLoopbackInvokeAllocBudget -count=1 -v ./internal/orb
+	$(GO) run ./cmd/integrade-bench -orb-json /tmp/BENCH_orb_ci.json -orb-short
+
 # Everything CI runs, in the same order.
-ci: build fmt-check vet lint interproc-lint race chaos fuzz-smoke
+ci: build fmt-check vet lint interproc-lint race chaos bench-orb-check fuzz-smoke

@@ -7,6 +7,11 @@
 //	integrade-bench              # run the whole suite
 //	integrade-bench -exp E4,E10  # run selected experiments
 //	integrade-bench -seed 7      # change the experiment seed
+//
+// With -orb-json PATH it instead runs only the E12 ORB performance
+// measurements and writes the machine-readable report to PATH (the
+// BENCH_orb.json perf trajectory); -orb-short trims the per-point budget
+// for CI smoke runs.
 package main
 
 import (
@@ -28,10 +33,16 @@ func main() {
 
 func run() error {
 	var (
-		expFlag = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
-		seed    = flag.Int64("seed", 1, "experiment seed")
+		expFlag  = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
+		seed     = flag.Int64("seed", 1, "experiment seed")
+		orbJSON  = flag.String("orb-json", "", "write the E12 ORB perf report to this path and exit")
+		orbShort = flag.Bool("orb-short", false, "with -orb-json: use the short per-point budget (CI smoke)")
 	)
 	flag.Parse()
+
+	if *orbJSON != "" {
+		return writeORBReport(*orbJSON, *seed, *orbShort)
+	}
 
 	want := map[string]bool{}
 	if *expFlag != "" {
@@ -56,5 +67,27 @@ func run() error {
 	if ran == 0 {
 		return fmt.Errorf("no experiments matched %q", *expFlag)
 	}
+	return nil
+}
+
+// writeORBReport runs the E12 measurements and writes BENCH_orb.json.
+func writeORBReport(path string, seed int64, short bool) error {
+	start := time.Now()
+	report, err := bench.MeasureORBPerf(seed, short)
+	if err != nil {
+		return fmt.Errorf("orb perf measurement: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := report.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "(wrote %s in %v)\n", path, time.Since(start).Round(time.Millisecond))
 	return nil
 }

@@ -43,8 +43,8 @@ func TestFormatFloat(t *testing.T) {
 
 func TestAllRegistered(t *testing.T) {
 	exps := All()
-	if len(exps) != 14 {
-		t.Fatalf("experiments = %d, want 14 (E1-E11 + A1-A3)", len(exps))
+	if len(exps) != 15 {
+		t.Fatalf("experiments = %d, want 15 (E1-E12 + A1-A3)", len(exps))
 	}
 	seen := make(map[string]bool)
 	for _, e := range exps {

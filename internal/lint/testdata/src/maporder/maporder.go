@@ -95,6 +95,51 @@ func TouchAll(inv orb.Invoker, peers map[string]orb.ObjectRef) {
 	}
 }
 
+// offer mirrors the trader's per-type offer index entry: offers carry a
+// monotonic export sequence number and the index slices stay sorted by it.
+type offer struct {
+	id  string
+	typ string
+	seq int
+}
+
+// PruneIndexBad collects expired offers by ranging the by-ID map; the victims
+// slice is never sorted, so the analyzer cannot tell the order is harmless.
+func PruneIndexBad(byID map[string]*offer, byType map[string][]*offer, expired func(*offer) bool) {
+	var victims []*offer
+	for _, o := range byID { // want `map iteration order leaks into victims, which is never sorted before use`
+		if expired(o) {
+			victims = append(victims, o)
+		}
+	}
+	removeAll(byType, victims)
+}
+
+// PruneIndex is the same loop, annotated: removal from a seq-sorted index is
+// a binary-search splice, so victims may be removed in any order and the
+// index comes out identical.
+func PruneIndex(byID map[string]*offer, byType map[string][]*offer, expired func(*offer) bool) {
+	var victims []*offer
+	//lint:ordered removal from the seq-sorted offer index commutes; the index is identical for any victim order
+	for _, o := range byID {
+		if expired(o) {
+			victims = append(victims, o)
+		}
+	}
+	removeAll(byType, victims)
+}
+
+// removeAll splices each victim out of its type's seq-sorted slice.
+func removeAll(byType map[string][]*offer, victims []*offer) {
+	for _, o := range victims {
+		typed := byType[o.typ]
+		i := sort.Search(len(typed), func(i int) bool { return typed[i].seq >= o.seq })
+		if i < len(typed) && typed[i].seq == o.seq {
+			byType[o.typ] = append(typed[:i], typed[i+1:]...)
+		}
+	}
+}
+
 // RowsBad emits one bench table row per map entry, in map order.
 func RowsBad(t *bench.Table, samples map[string]float64) {
 	for name, v := range samples { // want `map iteration order emits bench table rows \(AddRow\)`

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Servant handles invocations on one object. Implementations decode the
@@ -11,6 +12,13 @@ import (
 // returned encoder. Returning an error produces an error reply; returning a
 // *RemoteError preserves its code, any other error is wrapped as
 // CodeApplication.
+//
+// Ownership contract (DESIGN.md §13): req and its buffer belong to the ORB —
+// a servant must treat them as read-only and must not retain them (or any
+// RawBytes/RawString slice) past the Dispatch call. The returned Encoder
+// transfers to the ORB on return: build it fresh per call (GetEncoder for a
+// pooled one) and do not touch it afterwards. These rules are what let the
+// transports skip defensive copies and recycle buffers on the hot path.
 type Servant interface {
 	Dispatch(op string, req *Decoder) (*Encoder, error)
 }
@@ -24,16 +32,21 @@ func (f ServantFunc) Dispatch(op string, req *Decoder) (*Encoder, error) {
 }
 
 // OpMux is a Servant that routes operations by name, the common way to
-// implement multi-operation interfaces.
+// implement multi-operation interfaces. The operation table is copy-on-write:
+// Dispatch reads one atomic snapshot, Handle copies and swaps under mu —
+// registration happens at setup, dispatch on the hot path.
 type OpMux struct {
-	// mu guards ops.
-	mu  sync.RWMutex
-	ops map[string]ServantFunc
+	// mu serializes writers of ops.
+	mu  sync.Mutex
+	ops atomic.Pointer[map[string]ServantFunc]
 }
 
 // NewOpMux returns an empty operation multiplexer.
 func NewOpMux() *OpMux {
-	return &OpMux{ops: make(map[string]ServantFunc)}
+	m := &OpMux{}
+	ops := make(map[string]ServantFunc)
+	m.ops.Store(&ops)
+	return m
 }
 
 // Handle registers fn for the named operation, replacing any previous
@@ -41,15 +54,19 @@ func NewOpMux() *OpMux {
 func (m *OpMux) Handle(op string, fn ServantFunc) *OpMux {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.ops[op] = fn
+	old := *m.ops.Load()
+	next := make(map[string]ServantFunc, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[op] = fn
+	m.ops.Store(&next)
 	return m
 }
 
 // Dispatch implements Servant.
 func (m *OpMux) Dispatch(op string, req *Decoder) (*Encoder, error) {
-	m.mu.RLock()
-	fn, ok := m.ops[op]
-	m.mu.RUnlock()
+	fn, ok := (*m.ops.Load())[op]
 	if !ok {
 		return nil, Errorf(CodeBadOperation, "no such operation %q", op)
 	}
@@ -57,16 +74,20 @@ func (m *OpMux) Dispatch(op string, req *Decoder) (*Encoder, error) {
 }
 
 // Adapter is the object adapter: it owns the key → servant table of one ORB
-// server. It is safe for concurrent use.
+// server. It is safe for concurrent use. Like OpMux, the table is
+// copy-on-write so dispatch pays one atomic load instead of a lock.
 type Adapter struct {
-	// mu guards servants.
-	mu       sync.RWMutex
-	servants map[string]Servant
+	// mu serializes writers of servants.
+	mu       sync.Mutex
+	servants atomic.Pointer[map[string]Servant]
 }
 
 // NewAdapter returns an empty Adapter.
 func NewAdapter() *Adapter {
-	return &Adapter{servants: make(map[string]Servant)}
+	a := &Adapter{}
+	servants := make(map[string]Servant)
+	a.servants.Store(&servants)
+	return a
 }
 
 // Register binds a servant to an object key. Registering an existing key
@@ -80,10 +101,16 @@ func (a *Adapter) Register(key string, s Servant) error {
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	if _, exists := a.servants[key]; exists {
+	old := *a.servants.Load()
+	if _, exists := old[key]; exists {
 		return fmt.Errorf("orb: object key %q already registered", key)
 	}
-	a.servants[key] = s
+	next := make(map[string]Servant, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[key] = s
+	a.servants.Store(&next)
 	return nil
 }
 
@@ -92,49 +119,69 @@ func (a *Adapter) Register(key string, s Servant) error {
 func (a *Adapter) Deactivate(key string) bool {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	if _, ok := a.servants[key]; !ok {
+	old := *a.servants.Load()
+	if _, ok := old[key]; !ok {
 		return false
 	}
-	delete(a.servants, key)
+	next := make(map[string]Servant, len(old))
+	for k, v := range old {
+		if k != key {
+			next[k] = v
+		}
+	}
+	a.servants.Store(&next)
 	return true
 }
 
 // Keys returns the registered object keys in sorted order.
 func (a *Adapter) Keys() []string {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
-	keys := make([]string, 0, len(a.servants))
-	for k := range a.servants {
+	servants := *a.servants.Load()
+	keys := make([]string, 0, len(servants))
+	for k := range servants {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
 	return keys
 }
 
-// dispatch routes one request to its servant and normalizes errors into
+// dispatch routes one request to its servant and returns the reply bytes.
+// The returned slice is owned by the caller (the servant's reply buffer is
+// detached, its encoder recycled).
+func (a *Adapter) dispatch(key, op string, body []byte) ([]byte, error) {
+	enc, err := a.dispatchEnc(key, op, body)
+	if err != nil || enc == nil {
+		return nil, err
+	}
+	reply := enc.Detach()
+	PutEncoder(enc)
+	return reply, nil
+}
+
+// dispatchEnc routes one request to its servant and normalizes errors into
 // RemoteErrors. It recovers servant panics so a buggy servant cannot take
-// down the server.
-func (a *Adapter) dispatch(key, op string, body []byte) (reply []byte, err error) {
-	a.mu.RLock()
-	s, ok := a.servants[key]
-	a.mu.RUnlock()
+// down the server. The returned encoder is owned by the caller, who recycles
+// it (after Detach, if the reply bytes outlive it) — this is what lets the
+// TCP server serve a request with zero reply-buffer allocations.
+func (a *Adapter) dispatchEnc(key, op string, body []byte) (enc *Encoder, err error) {
+	s, ok := (*a.servants.Load())[key]
 	if !ok {
 		return nil, Errorf(CodeObjectNotExist, "no object %q", key)
 	}
 	defer func() {
 		if r := recover(); r != nil {
+			enc = nil
 			err = Errorf(CodeApplication, "servant panic in %s.%s: %v", key, op, r)
 		}
 	}()
-	enc, err := s.Dispatch(op, NewDecoder(body))
+	req := getDecoder(body)
+	enc, err = s.Dispatch(op, req)
+	putDecoder(req)
 	if err != nil {
+		PutEncoder(enc) // ownership transferred even on error; recycle
 		if re, ok := err.(*RemoteError); ok {
 			return nil, re
 		}
 		return nil, &RemoteError{Code: CodeApplication, Msg: err.Error()}
 	}
-	if enc == nil {
-		return nil, nil
-	}
-	return enc.Bytes(), nil
+	return enc, nil
 }

@@ -1,0 +1,59 @@
+package orb
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestLoopbackInvokeAllocBudget is the CI allocation gate for the loopback
+// invoke fast path: testdata/alloc_budget.txt holds the checked-in budget
+// (allocs per Invoke for a 256 B echo, currently 1 — the reply buffer that
+// Detach hands to the caller; see DESIGN.md §13). Any hot-path regression
+// that reintroduces a per-call allocation fails this test, and lowering the
+// budget is how a future optimization ratchets the gate down.
+func TestLoopbackInvokeAllocBudget(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("testdata", "alloc_budget.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget, err := strconv.ParseFloat(strings.TrimSpace(string(raw)), 64)
+	if err != nil {
+		t.Fatalf("testdata/alloc_budget.txt: %v", err)
+	}
+
+	o := New()
+	adapter := NewAdapter()
+	mux := NewOpMux().Handle("echo", func(_ string, req *Decoder) (*Encoder, error) {
+		data := req.RawBytes()
+		if err := req.Err(); err != nil {
+			return nil, err
+		}
+		e := GetEncoder()
+		e.Grow(4 + len(data))
+		e.PutBytes(data)
+		return e, nil
+	})
+	if err := adapter.Register("echo", mux); err != nil {
+		t.Fatal(err)
+	}
+	ep, err := o.BindLoopback("gate", adapter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := ObjectRef{Endpoint: ep, Key: "echo"}
+	var e Encoder
+	e.PutBytes(make([]byte, 256))
+	arg := e.Bytes()
+
+	avg := testing.AllocsPerRun(500, func() {
+		if _, err := o.Invoke(ref, "echo", arg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > budget {
+		t.Fatalf("loopback invoke allocates %.2f/op, budget is %.0f (testdata/alloc_budget.txt)", avg, budget)
+	}
+}

@@ -7,14 +7,18 @@ import (
 func benchEchoAdapter(b *testing.B) *Adapter {
 	b.Helper()
 	a := NewAdapter()
+	// The fast-path servant idiom from DESIGN.md §13: read the payload
+	// zero-copy (it is not retained past Dispatch), build the reply in a
+	// pooled encoder pre-sized to its final length.
 	mux := NewOpMux().Handle("echo", func(_ string, req *Decoder) (*Encoder, error) {
-		data := req.Bytes()
+		data := req.RawBytes()
 		if err := req.Err(); err != nil {
 			return nil, err
 		}
-		var e Encoder
+		e := GetEncoder()
+		e.Grow(4 + len(data))
 		e.PutBytes(data)
-		return &e, nil
+		return e, nil
 	})
 	if err := a.Register("echo", mux); err != nil {
 		b.Fatal(err)

@@ -230,8 +230,34 @@ func isDeadlineErr(err error) bool {
 	return errors.As(err, &ne) && ne.Timeout()
 }
 
+// callResult is what a waiting caller receives: a reply/error frame, or a
+// locally synthesized error (send failure, connection loss — zero value).
+type callResult struct {
+	f   *frame
+	err error
+}
+
+// replyChanPool recycles the per-call reply channels. A channel is pooled
+// only on paths where the single possible send has already happened or is
+// provably impossible (the pending entry was removed by this goroutine), so
+// a pooled channel is always empty.
+var replyChanPool = sync.Pool{New: func() any { return make(chan callResult, 1) }}
+
+func getReplyChan() chan callResult { return replyChanPool.Get().(chan callResult) }
+
+func putReplyChan(ch chan callResult) {
+	select { // defensive drain; a pooled channel must be empty
+	case <-ch:
+	default:
+	}
+	replyChanPool.Put(ch)
+}
+
 // clientConn is one multiplexed connection: concurrent calls are assigned
-// request IDs; a reader goroutine demultiplexes replies to waiting callers.
+// request IDs; a reader goroutine demultiplexes replies to waiting callers;
+// a sender goroutine drains a send queue onto the socket, so N concurrent
+// callers pipeline their requests instead of serializing write+flush under
+// a mutex, and consecutive queued frames share one buffered-writer flush.
 //
 // Hung-peer defense is three-layered: the socket write deadline bounds a
 // peer that stops draining its receive buffer; a call that times out having
@@ -241,29 +267,53 @@ func isDeadlineErr(err error) bool {
 // enough never to race the per-call timers.
 type clientConn struct {
 	conn   net.Conn
-	writer *bufio.Writer
+	writer *bufio.Writer // owned by sendLoop after construction
 
-	// mu guards nextID, frames, pending, budgets and dead, and serializes
-	// request frames onto writer. done is closed by readLoop on exit and is
-	// otherwise written only at construction.
-	mu      sync.Mutex
-	nextID  uint64
-	frames  uint64 // frames received, ever — progress marker
-	pending map[uint64]chan *frame
-	budgets map[uint64]time.Duration
-	dead    bool
-	done    chan struct{}
+	// sendq feeds request frames to sendLoop; quit (closed by failAll)
+	// unblocks enqueuers and stops the sender.
+	sendq chan *frame
+	quit  chan struct{}
+
+	// mu guards nextID, frames, pending, budgets, dead and the watchdog
+	// arming state. done is closed by readLoop on exit, senderDone by
+	// sendLoop; both are otherwise written only at construction.
+	mu         sync.Mutex
+	nextID     uint64
+	frames     uint64 // frames received, ever — progress marker
+	pending    map[uint64]chan callResult
+	budgets    map[uint64]time.Duration
+	dead       bool
+	done       chan struct{}
+	senderDone chan struct{}
+
+	// Watchdog arming state: maxBudget is an upper bound on every pending
+	// budget (maintained incrementally, never lowered while calls remain),
+	// armedAt/armedBudget describe the read deadline last pushed to the
+	// socket. Kept so the hot path re-arms at most once per half-budget
+	// instead of paying a SetReadDeadline syscall per register/complete.
+	maxBudget   time.Duration
+	armedAt     time.Time
+	armedBudget time.Duration
 }
+
+// sendQueueDepth bounds how many requests may sit between callers and the
+// socket. Deep enough to keep the pipeline full under burst, small enough
+// that backpressure (a blocked enqueue) arrives before unbounded buffering.
+const sendQueueDepth = 256
 
 func newClientConn(conn net.Conn) *clientConn {
 	cc := &clientConn{
-		conn:    conn,
-		writer:  bufio.NewWriter(conn),
-		pending: make(map[uint64]chan *frame),
-		budgets: make(map[uint64]time.Duration),
-		done:    make(chan struct{}),
+		conn:       conn,
+		writer:     bufio.NewWriter(conn),
+		sendq:      make(chan *frame, sendQueueDepth),
+		quit:       make(chan struct{}),
+		pending:    make(map[uint64]chan callResult),
+		budgets:    make(map[uint64]time.Duration),
+		done:       make(chan struct{}),
+		senderDone: make(chan struct{}),
 	}
 	go cc.readLoop()
+	go cc.sendLoop()
 	return cc
 }
 
@@ -276,33 +326,48 @@ func (cc *clientConn) isDead() bool {
 func (cc *clientConn) close() {
 	cc.failAll()
 	<-cc.done
+	<-cc.senderDone
 }
 
-// armWatchdogLocked (re)sets the connection read deadline from the pending
+// armWatchdogLocked maintains the connection read deadline from the pending
 // budgets: no pending calls clears it, otherwise a backstop deadline of
 // twice the largest pending budget is armed — generous enough that the
 // per-call timers always fire first, but bounding the read loop even if a
 // caller abandons its timer.
+//
+// The deadline is refreshed lazily: a SetReadDeadline syscall is issued only
+// when pending transitions empty↔nonempty, when a larger budget arrives, or
+// when the armed window is half spent. The invariant the per-call timers
+// rely on still holds: any pending call registered while armed fires its own
+// timer at least half a budget before the socket deadline can.
 func (cc *clientConn) armWatchdogLocked() {
-	var budget time.Duration
-	for _, b := range cc.budgets {
-		if b > budget {
-			budget = b
+	if len(cc.pending) == 0 {
+		if cc.armedBudget != 0 {
+			cc.armedBudget = 0
+			cc.maxBudget = 0
+			_ = cc.conn.SetReadDeadline(time.Time{})
 		}
-	}
-	if budget <= 0 {
-		_ = cc.conn.SetReadDeadline(time.Time{})
 		return
 	}
-	_ = cc.conn.SetReadDeadline(time.Now().Add(2 * budget))
+	b := cc.maxBudget
+	if b <= 0 {
+		return
+	}
+	if cc.armedBudget >= b && time.Since(cc.armedAt) <= b/2 {
+		return
+	}
+	cc.armedAt = time.Now()
+	cc.armedBudget = b
+	_ = cc.conn.SetReadDeadline(cc.armedAt.Add(2 * b))
 }
 
 func (cc *clientConn) call(key, op string, arg []byte, budget time.Duration) ([]byte, error) {
-	ch := make(chan *frame, 1)
+	ch := getReplyChan()
 
 	cc.mu.Lock()
 	if cc.dead {
 		cc.mu.Unlock()
+		putReplyChan(ch)
 		return nil, Errorf(CodeTransport, "connection closed")
 	}
 	cc.nextID++
@@ -310,39 +375,59 @@ func (cc *clientConn) call(key, op string, arg []byte, budget time.Duration) ([]
 	framesAtSend := cc.frames
 	cc.pending[id] = ch
 	cc.budgets[id] = budget
-	cc.armWatchdogLocked()
-	// The write deadline bounds the socket write by the call budget: a peer
-	// that stops draining its receive buffer cannot wedge this call — or
-	// every later call serialized on mu — forever.
-	_ = cc.conn.SetWriteDeadline(time.Now().Add(budget))
-	err := writeFrame(cc.writer, &frame{kind: msgRequest, reqID: id, key: key, op: op, body: arg})
-	if err == nil {
-		err = cc.writer.Flush()
+	if budget > cc.maxBudget {
+		cc.maxBudget = budget
 	}
+	cc.armWatchdogLocked()
 	cc.mu.Unlock()
 
-	if err != nil {
-		cc.forget(id)
-		cc.failAll()
-		if isDeadlineErr(err) {
-			return nil, Errorf(CodeTimeout, "send %s.%s: write deadline exceeded after %v", key, op, budget)
+	// Serialize here, not in the sender: the caller's arg buffer must not
+	// be referenced once call can return (a timed-out caller may reuse it
+	// while its frame still sits in the queue), and spreading encode work
+	// across callers keeps the sender goroutine free to saturate the
+	// socket. f.raw carries the ready-to-write bytes.
+	e := GetEncoder()
+	encodeFrame(e, &frame{kind: msgRequest, reqID: id, key: key, op: op, body: arg})
+	f := getFrame()
+	f.kind, f.reqID, f.key, f.op, f.budget = msgRequest, id, key, op, budget
+	f.raw = e.Detach()
+	PutEncoder(e)
+	select {
+	case cc.sendq <- f:
+	case <-cc.quit:
+		putFrame(f)
+		if cc.forget(id) {
+			putReplyChan(ch)
 		}
-		return nil, Errorf(CodeTransport, "send: %v", err)
+		return nil, Errorf(CodeTransport, "connection closed")
 	}
 
 	timer := time.NewTimer(budget)
 	defer timer.Stop()
 	select {
-	case f := <-ch:
-		if f == nil {
+	case r := <-ch:
+		putReplyChan(ch)
+		if r.err != nil {
+			return nil, r.err
+		}
+		rf := r.f
+		if rf == nil {
 			return nil, Errorf(CodeTransport, "connection lost awaiting reply")
 		}
-		if f.kind == msgError {
-			return nil, &RemoteError{Code: f.code, Msg: f.msg}
+		if rf.kind == msgError {
+			err := &RemoteError{Code: rf.code, Msg: rf.msg}
+			putFrame(rf)
+			return nil, err
 		}
-		return f.body, nil
+		body := rf.detachBody()
+		putFrame(rf)
+		return body, nil
 	case <-timer.C:
-		cc.forget(id)
+		if cc.forget(id) {
+			// Nobody else saw the pending entry, so no send can follow:
+			// the channel is provably idle and safe to pool.
+			putReplyChan(ch)
+		}
 		// A full budget with no frame at all — not even a reply to some
 		// other call — means the peer is wedged, not merely slow. Kill the
 		// connection so the pool re-dials instead of caching it forever.
@@ -353,6 +438,87 @@ func (cc *clientConn) call(key, op string, arg []byte, budget time.Duration) ([]
 	}
 }
 
+// sendLoop is the connection's single writer: it drains the send queue onto
+// the socket, arming the write deadline from each frame's call budget, and
+// flushes the buffered writer only once the queue runs momentarily dry —
+// one flush (and often one syscall) covers every frame coalesced behind it.
+func (cc *clientConn) sendLoop() {
+	defer close(cc.senderDone)
+	for {
+		select {
+		case f := <-cc.sendq:
+			if !cc.writeBatch(f) {
+				return
+			}
+		case <-cc.quit:
+			return
+		}
+	}
+}
+
+// writeBatch writes first and every frame immediately queued behind it,
+// then flushes. It reports whether the connection is still usable.
+func (cc *clientConn) writeBatch(first *frame) bool {
+	f := first
+	// The write deadline bounds the socket writes by a pending call budget:
+	// a peer that stops draining its receive buffer cannot wedge the sender
+	// — and with it every queued call — forever. One deadline covers many
+	// frames: it is re-armed only when half spent relative to the current
+	// frame's budget, or more than twice that budget away — so a batch of
+	// like-budget frames costs one syscall, while a frame whose write could
+	// otherwise overrun (or prematurely trip) the armed deadline re-arms.
+	var deadline time.Time
+	for {
+		if d := time.Now(); deadline.Before(d.Add(f.budget/2)) || deadline.After(d.Add(2*f.budget)) {
+			deadline = d.Add(f.budget)
+			_ = cc.conn.SetWriteDeadline(deadline)
+		}
+		_, err := cc.writer.Write(f.raw) // pre-serialized by call
+		id, key, op, budget := f.reqID, f.key, f.op, f.budget
+		putFrame(f)
+		if err != nil {
+			cc.failSend(id, key, op, budget, err)
+			cc.failAll()
+			return false
+		}
+		select {
+		case f = <-cc.sendq:
+			continue
+		default:
+		}
+		break
+	}
+	if err := cc.writer.Flush(); err != nil {
+		// The flush may carry several calls' frames; fail them all.
+		cc.failAll()
+		return false
+	}
+	return true
+}
+
+// failSend delivers a synthesized local error to the one call whose frame
+// failed to write, preserving the pre-pipelining distinction between a
+// write-deadline expiry (timeout) and a broken socket (transport).
+func (cc *clientConn) failSend(id uint64, key, op string, budget time.Duration, err error) {
+	var res callResult
+	if isDeadlineErr(err) {
+		res.err = Errorf(CodeTimeout, "send %s.%s: write deadline exceeded after %v", key, op, budget)
+	} else {
+		res.err = Errorf(CodeTransport, "send: %v", err)
+	}
+	cc.mu.Lock()
+	ch, ok := cc.pending[id]
+	if ok {
+		delete(cc.pending, id)
+		delete(cc.budgets, id)
+		cc.armWatchdogLocked()
+	}
+	cc.mu.Unlock()
+	if ok {
+		ch <- res
+	}
+}
+
 // progressedSince reports whether any frame arrived after the snapshot.
 func (cc *clientConn) progressedSince(framesAtSend uint64) bool {
 	cc.mu.Lock()
@@ -360,12 +526,18 @@ func (cc *clientConn) progressedSince(framesAtSend uint64) bool {
 	return cc.frames != framesAtSend
 }
 
-func (cc *clientConn) forget(id uint64) {
+// forget drops id's pending entry, reporting whether this call removed it —
+// true guarantees no goroutine holds (or will send on) its reply channel.
+func (cc *clientConn) forget(id uint64) bool {
 	cc.mu.Lock()
-	delete(cc.pending, id)
-	delete(cc.budgets, id)
-	cc.armWatchdogLocked()
+	_, ok := cc.pending[id]
+	if ok {
+		delete(cc.pending, id)
+		delete(cc.budgets, id)
+		cc.armWatchdogLocked()
+	}
 	cc.mu.Unlock()
+	return ok
 }
 
 func (cc *clientConn) readLoop() {
@@ -374,7 +546,7 @@ func (cc *clientConn) readLoop() {
 	for {
 		f, err := readFrame(reader)
 		if err != nil {
-			cc.failAllLocked()
+			cc.failPending()
 			return
 		}
 		cc.mu.Lock()
@@ -389,33 +561,39 @@ func (cc *clientConn) readLoop() {
 		cc.armWatchdogLocked()
 		cc.mu.Unlock()
 		if ok {
-			ch <- f
+			ch <- callResult{f: f}
+		} else {
+			putFrame(f) // late reply; its waiter already timed out
 		}
 	}
 }
 
-// failAll marks the connection dead, closes it and fails every pending call.
+// failAll marks the connection dead, stops the sender and closes the
+// socket; every pending call then fails.
 func (cc *clientConn) failAll() {
 	cc.mu.Lock()
 	alreadyDead := cc.dead
 	cc.dead = true
 	cc.mu.Unlock()
 	if !alreadyDead {
+		close(cc.quit)
 		_ = cc.conn.Close()
 	}
 	// The read loop exits on conn close and drains pending via
-	// failAllLocked; nothing further to do here.
+	// failPending; nothing further to do here.
 }
 
-func (cc *clientConn) failAllLocked() {
+// failPending kills the connection (stopping the sender) and fails every
+// pending call with a zero result ("connection lost"). Called by readLoop
+// on its way out.
+func (cc *clientConn) failPending() {
+	cc.failAll()
 	cc.mu.Lock()
-	cc.dead = true
 	pending := cc.pending
-	cc.pending = make(map[uint64]chan *frame)
+	cc.pending = make(map[uint64]chan callResult)
 	cc.budgets = make(map[uint64]time.Duration)
 	cc.mu.Unlock()
-	_ = cc.conn.Close()
 	for _, ch := range pending {
-		ch <- nil
+		ch <- callResult{}
 	}
 }

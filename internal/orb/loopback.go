@@ -2,6 +2,7 @@ package orb
 
 import (
 	"sync"
+	"sync/atomic"
 )
 
 // Loopback is the in-process transport. Each "server" is an Adapter bound to
@@ -11,9 +12,18 @@ import (
 // An Interceptor may be installed to inject message loss, delay and
 // duplication for failure-injection tests, emulating an unreliable network;
 // internal/chaos provides the standard engine.
+//
+// The registry is copy-on-write: Invoke reads one atomic snapshot (no lock),
+// Bind/Unbind/SetInterceptor copy-and-swap under mu. Registration is a setup
+// operation; invocation is the hot path.
 type Loopback struct {
-	// mu guards adapters and interceptor.
-	mu          sync.RWMutex
+	// mu serializes writers of state.
+	mu    sync.Mutex
+	state atomic.Pointer[loopbackState]
+}
+
+// loopbackState is one immutable snapshot of the transport's registry.
+type loopbackState struct {
 	adapters    map[string]*Adapter
 	interceptor Interceptor
 }
@@ -31,14 +41,31 @@ type FaultPolicy func(target Endpoint, key, op string) error
 
 // NewLoopback returns an empty in-process transport.
 func NewLoopback() *Loopback {
-	return &Loopback{adapters: make(map[string]*Adapter)}
+	l := &Loopback{}
+	l.state.Store(&loopbackState{adapters: make(map[string]*Adapter)})
+	return l
+}
+
+// mutate applies fn to a copy of the current state and publishes it. Callers
+// must not hold mu.
+func (l *Loopback) mutate(fn func(*loopbackState)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	old := l.state.Load()
+	next := &loopbackState{
+		adapters:    make(map[string]*Adapter, len(old.adapters)+1),
+		interceptor: old.interceptor,
+	}
+	for k, v := range old.adapters {
+		next.adapters[k] = v
+	}
+	fn(next)
+	l.state.Store(next)
 }
 
 // SetInterceptor installs (or clears, with nil) the fault-injection hook.
 func (l *Loopback) SetInterceptor(ic Interceptor) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.interceptor = ic
+	l.mutate(func(st *loopbackState) { st.interceptor = ic })
 }
 
 // SetFaultPolicy installs (or clears, with nil) a drop-only fault hook. It
@@ -53,24 +80,30 @@ func (l *Loopback) SetFaultPolicy(p FaultPolicy) {
 
 // Bind registers adapter under name and returns its endpoint.
 func (l *Loopback) Bind(name string, adapter *Adapter) (Endpoint, error) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if _, exists := l.adapters[name]; exists {
-		return Endpoint{}, Errorf(CodeTransport, "loopback name %q already bound", name)
+	var err error
+	l.mutate(func(st *loopbackState) {
+		if _, exists := st.adapters[name]; exists {
+			err = Errorf(CodeTransport, "loopback name %q already bound", name)
+			return
+		}
+		st.adapters[name] = adapter
+	})
+	if err != nil {
+		return Endpoint{}, err
 	}
-	l.adapters[name] = adapter
 	return Endpoint{Net: NetLoopback, Addr: name}, nil
 }
 
 // Unbind removes the named adapter. It reports whether it existed.
 func (l *Loopback) Unbind(name string) bool {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if _, ok := l.adapters[name]; !ok {
-		return false
-	}
-	delete(l.adapters, name)
-	return true
+	var existed bool
+	l.mutate(func(st *loopbackState) {
+		if _, ok := st.adapters[name]; ok {
+			existed = true
+			delete(st.adapters, name)
+		}
+	})
+	return existed
 }
 
 // Invoke implements Invoker for inproc references.
@@ -78,21 +111,29 @@ func (l *Loopback) Invoke(ref ObjectRef, op string, arg []byte) ([]byte, error) 
 	if ref.Endpoint.Net != NetLoopback {
 		return nil, Errorf(CodeTransport, "loopback cannot reach %s endpoint", ref.Endpoint.Net)
 	}
-	l.mu.RLock()
-	ic := l.interceptor
-	l.mu.RUnlock()
-	// next performs one delivery; the interceptor may call it zero, one or
-	// several times (drop / deliver / duplicate), possibly asynchronously.
-	next := func() ([]byte, error) {
-		l.mu.RLock()
-		adapter, ok := l.adapters[ref.Endpoint.Addr]
-		l.mu.RUnlock()
+	st := l.state.Load()
+	ic := st.interceptor
+	adapter, ok := st.adapters[ref.Endpoint.Addr]
+	if ic == nil {
+		// Fast path: the servant ownership contract (DESIGN.md §13 — the
+		// request buffer is read-only and must not be retained past
+		// Dispatch) makes the defensive copy a real transport's
+		// serialization implies unnecessary, so dispatch straight into the
+		// adapter with the caller's buffer.
 		if !ok {
 			return nil, Errorf(CodeTransport, "no loopback server %q", ref.Endpoint.Addr)
 		}
-		// Copy the argument: a real transport would serialize, so servants
-		// must not be able to alias the caller's buffer. Each (re)delivery
-		// makes its own copy.
+		return adapter.dispatch(ref.Key, op, arg)
+	}
+	// next performs one delivery; the interceptor may call it zero, one or
+	// several times (drop / deliver / duplicate), possibly asynchronously —
+	// including after Invoke has returned and the caller reuses arg — so
+	// each (re)delivery copies the argument.
+	next := func() ([]byte, error) {
+		adapter, ok := l.state.Load().adapters[ref.Endpoint.Addr]
+		if !ok {
+			return nil, Errorf(CodeTransport, "no loopback server %q", ref.Endpoint.Addr)
+		}
 		var argCopy []byte
 		if arg != nil {
 			argCopy = make([]byte, len(arg))
@@ -100,5 +141,5 @@ func (l *Loopback) Invoke(ref ObjectRef, op string, arg []byte) ([]byte, error) 
 		}
 		return adapter.dispatch(ref.Key, op, argCopy)
 	}
-	return deliver(ic, ref.Endpoint, ref.Key, op, arg, next)
+	return ic.Intercept(ref.Endpoint, ref.Key, op, arg, next)
 }

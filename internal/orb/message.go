@@ -5,6 +5,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync"
+	"time"
 )
 
 // Protocol constants for the framed request/reply wire protocol.
@@ -20,7 +22,8 @@ const (
 	maxFrameLen = 64 << 20
 )
 
-// frame is one protocol message.
+// frame is one protocol message. Frames are pooled: obtain with getFrame,
+// release with putFrame once every field read from it is dead (or detached).
 type frame struct {
 	kind  uint8
 	reqID uint64
@@ -32,14 +35,81 @@ type frame struct {
 	msg  string
 	// request/reply payload
 	body []byte
+	// raw is the pooled read buffer backing body for inbound frames.
+	// putFrame recycles it; detachBody transfers it to the caller instead.
+	raw []byte
+	// budget is the call budget of an outbound request, consulted by the
+	// client's sender goroutine to arm the socket write deadline.
+	budget time.Duration
 }
 
-// writeFrame serializes f with a length prefix onto w.
+// detachBody returns the frame's payload and transfers ownership of its
+// backing buffer to the caller, so putFrame will not recycle it underneath
+// a reply body that outlives the frame.
+func (f *frame) detachBody() []byte {
+	b := f.body
+	f.body = nil
+	f.raw = nil
+	return b
+}
+
+var framePool = sync.Pool{New: func() any { return new(frame) }}
+
+// getFrame returns a zeroed frame from the pool.
+func getFrame() *frame {
+	return framePool.Get().(*frame)
+}
+
+// putFrame recycles f and, when still attached, its read buffer. The caller
+// must hold no references into f (detachBody first to keep the payload).
+func putFrame(f *frame) {
+	if f == nil {
+		return
+	}
+	raw := f.raw
+	*f = frame{}
+	framePool.Put(f)
+	putBuf(raw)
+}
+
+// bufPool recycles frame read buffers. Entries are *[]byte to avoid
+// allocating a slice header on every Put.
+var bufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// getBuf returns a length-n byte slice, reusing pooled capacity when it can.
+func getBuf(n int) []byte {
+	bp := bufPool.Get().(*[]byte)
+	if cap(*bp) >= n {
+		b := (*bp)[:n]
+		*bp = nil
+		bufPool.Put(bp)
+		return b
+	}
+	*bp = nil
+	bufPool.Put(bp)
+	return make([]byte, n)
+}
+
+// putBuf recycles b for a future getBuf. Oversized buffers are dropped.
+func putBuf(b []byte) {
+	if b == nil || cap(b) > maxPooledBuf {
+		return
+	}
+	bp := bufPool.Get().(*[]byte)
+	*bp = b[:0]
+	bufPool.Put(bp)
+}
+
+// encodeFrame appends f, length prefix included, onto e. The client
+// serializes request frames at enqueue time with this (so the caller's arg
+// buffer is not referenced after call returns and serialization runs in the
+// caller, not the sender); writeFrame wraps it for synchronous writers.
 //
 // Layout: u32 totalLen | u32 magic | u8 version | u8 kind | u64 reqID |
 // kind-specific fields | bytes body.
-func writeFrame(w io.Writer, f *frame) error {
-	var e Encoder
+func encodeFrame(e *Encoder, f *frame) {
+	start := e.Len()
+	e.PutU32(0) // length prefix, patched below
 	e.PutU32(protoMagic)
 	e.PutU8(protoVersion)
 	e.PutU8(f.kind)
@@ -53,17 +123,21 @@ func writeFrame(w io.Writer, f *frame) error {
 		e.PutString(f.msg)
 	}
 	e.PutBytes(f.body)
+	binary.BigEndian.PutUint32(e.buf[start:start+4], uint32(e.Len()-start-4))
+}
 
-	var lenbuf [4]byte
-	binary.BigEndian.PutUint32(lenbuf[:], uint32(e.Len()))
-	if _, err := w.Write(lenbuf[:]); err != nil {
-		return err
-	}
+// writeFrame serializes f with a length prefix onto w as a single Write.
+func writeFrame(w io.Writer, f *frame) error {
+	e := GetEncoder()
+	defer PutEncoder(e)
+	encodeFrame(e, f)
 	_, err := w.Write(e.Bytes())
 	return err
 }
 
-// readFrame reads one length-prefixed frame from r.
+// readFrame reads one length-prefixed frame from r. The returned frame and
+// its payload come from the wire pools: release with putFrame, after
+// detachBody if the payload escapes.
 func readFrame(r *bufio.Reader) (*frame, error) {
 	var lenbuf [4]byte
 	if _, err := io.ReadFull(r, lenbuf[:]); err != nil {
@@ -73,21 +147,24 @@ func readFrame(r *bufio.Reader) (*frame, error) {
 	if n > maxFrameLen {
 		return nil, fmt.Errorf("orb: frame length %d exceeds limit", n)
 	}
-	buf := make([]byte, n)
+	buf := getBuf(int(n))
 	if _, err := io.ReadFull(r, buf); err != nil {
+		putBuf(buf)
 		return nil, err
 	}
-	d := NewDecoder(buf)
+	d := getDecoder(buf)
+	defer putDecoder(d)
 	if magic := d.U32(); magic != protoMagic {
+		putBuf(buf)
 		return nil, fmt.Errorf("orb: bad magic %#x", magic)
 	}
 	if v := d.U8(); v != protoVersion {
+		putBuf(buf)
 		return nil, fmt.Errorf("orb: unsupported protocol version %d", v)
 	}
-	f := &frame{
-		kind:  d.U8(),
-		reqID: d.U64(),
-	}
+	f := getFrame()
+	f.kind = d.U8()
+	f.reqID = d.U64()
 	switch f.kind {
 	case msgRequest:
 		f.key = d.String()
@@ -97,10 +174,16 @@ func readFrame(r *bufio.Reader) (*frame, error) {
 		f.code = ErrorCode(d.U32())
 		f.msg = d.String()
 	default:
-		return nil, fmt.Errorf("orb: unknown message kind %d", f.kind)
+		kind := f.kind
+		f.raw = buf
+		putFrame(f)
+		return nil, fmt.Errorf("orb: unknown message kind %d", kind)
 	}
-	f.body = d.Bytes()
+	// The payload aliases buf — no copy. The frame owns buf from here on.
+	f.body = d.RawBytes()
+	f.raw = buf
 	if err := d.Err(); err != nil {
+		putFrame(f)
 		return nil, err
 	}
 	return f, nil

@@ -6,6 +6,7 @@ import (
 	"log/slog"
 	"net"
 	"sync"
+	"sync/atomic"
 )
 
 // Server accepts ORB protocol connections on a TCP listener and dispatches
@@ -113,20 +114,28 @@ func (s *Server) serveConn(conn net.Conn) {
 
 	var (
 		// writeMu serializes reply frames onto writer across the
-		// per-request goroutines.
-		writeMu sync.Mutex
-		reqWG   sync.WaitGroup
+		// per-request goroutines; writeWaiters counts goroutines inside
+		// send so the flush can be deferred to the last writer in a burst
+		// — N concurrent replies share one flush instead of paying one
+		// syscall each.
+		writeMu      sync.Mutex
+		writeWaiters atomic.Int32
+		reqWG        sync.WaitGroup
 	)
 	reader := bufio.NewReader(conn)
 	writer := bufio.NewWriter(conn)
 
 	send := func(f *frame) {
+		writeWaiters.Add(1)
 		writeMu.Lock()
-		defer writeMu.Unlock()
-		if err := writeFrame(writer, f); err != nil {
-			return
+		err := writeFrame(writer, f)
+		// The last writer out flushes for everyone: if the decrement sees
+		// other waiters, one of them is about to take writeMu and will
+		// flush (or defer again) after its own write.
+		if writeWaiters.Add(-1) == 0 && err == nil {
+			_ = writer.Flush()
 		}
-		_ = writer.Flush()
+		writeMu.Unlock()
 	}
 
 	for {
@@ -139,19 +148,33 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		if f.kind != msgRequest {
 			s.log.Warn("orb server received non-request frame", "kind", f.kind)
+			putFrame(f)
 			continue
 		}
 		reqWG.Add(1)
 		go func(f *frame) {
 			defer reqWG.Done()
-			reply, err := s.adapter.dispatch(f.key, f.op, f.body)
+			enc, err := s.adapter.dispatchEnc(f.key, f.op, f.body)
 			if err != nil {
 				re := &RemoteError{Code: CodeApplication, Msg: err.Error()}
 				errors.As(err, &re)
-				send(&frame{kind: msgError, reqID: f.reqID, code: re.Code, msg: re.Msg})
+				reply := getFrame()
+				reply.kind, reply.reqID, reply.code, reply.msg = msgError, f.reqID, re.Code, re.Msg
+				putFrame(f) // request body is dead once dispatch returned
+				send(reply)
+				putFrame(reply)
 				return
 			}
-			send(&frame{kind: msgReply, reqID: f.reqID, body: reply})
+			reply := getFrame()
+			reply.kind, reply.reqID = msgReply, f.reqID
+			if enc != nil {
+				reply.body = enc.Bytes()
+			}
+			putFrame(f)
+			send(reply)
+			reply.body = nil // owned by enc, not the frame pool
+			putFrame(reply)
+			PutEncoder(enc)
 		}(f)
 	}
 	reqWG.Wait()

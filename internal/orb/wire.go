@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 )
 
@@ -48,6 +49,71 @@ func (e *Encoder) Len() int { return len(e.buf) }
 
 // Reset clears the buffer, retaining capacity.
 func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// Grow ensures capacity for n more bytes, so a servant that knows its reply
+// size builds it with at most one allocation instead of append's growth
+// sequence — this matters on the hot path because Detach hands the buffer
+// away, leaving the pooled encoder to regrow from nil.
+func (e *Encoder) Grow(n int) {
+	if cap(e.buf)-len(e.buf) >= n {
+		return
+	}
+	buf := make([]byte, len(e.buf), len(e.buf)+n)
+	copy(buf, e.buf)
+	e.buf = buf
+}
+
+// Detach returns the encoded buffer and releases the encoder's ownership of
+// it: after Detach the encoder is empty and may be pooled with PutEncoder
+// while the returned slice lives on. This is how the hot path hands a reply
+// body to a caller that retains it without copying.
+func (e *Encoder) Detach() []byte {
+	b := e.buf
+	e.buf = nil
+	return b
+}
+
+// maxPooledBuf bounds the capacity of buffers kept by the wire pools. A
+// rare giant frame must not pin megabytes inside a sync.Pool forever.
+const maxPooledBuf = 64 << 10
+
+var encoderPool = sync.Pool{New: func() any { return new(Encoder) }}
+
+// GetEncoder returns an empty Encoder from the pool. The hot path — frame
+// serialization, servants building replies — uses pooled encoders so a
+// steady-state invocation performs no encoder allocations. Pair with
+// PutEncoder; see DESIGN.md §13 for the ownership rules.
+func GetEncoder() *Encoder {
+	e := encoderPool.Get().(*Encoder)
+	e.Reset()
+	return e
+}
+
+// PutEncoder returns e to the pool. The caller must not use e or any slice
+// obtained from e.Bytes afterwards (Detach first to keep the buffer).
+// Oversized buffers are dropped rather than pooled.
+func PutEncoder(e *Encoder) {
+	if e == nil || cap(e.buf) > maxPooledBuf {
+		return
+	}
+	e.Reset()
+	encoderPool.Put(e)
+}
+
+var decoderPool = sync.Pool{New: func() any { return new(Decoder) }}
+
+// getDecoder returns a pooled Decoder positioned at the start of buf.
+func getDecoder(buf []byte) *Decoder {
+	d := decoderPool.Get().(*Decoder)
+	d.buf, d.off, d.err = buf, 0, nil
+	return d
+}
+
+// putDecoder releases d to the pool, dropping its buffer reference.
+func putDecoder(d *Decoder) {
+	d.buf, d.off, d.err = nil, 0, nil
+	decoderPool.Put(d)
+}
 
 // PutU8 appends a byte.
 func (e *Encoder) PutU8(v uint8) { e.buf = append(e.buf, v) }
@@ -213,6 +279,38 @@ func (d *Decoder) Bytes() []byte {
 	out := make([]byte, len(b))
 	copy(out, b)
 	return out
+}
+
+// RawBytes reads a length-prefixed byte slice without copying. The result
+// aliases the decoder's buffer: the caller must treat it as read-only and
+// must not retain it past the buffer's lifetime — for a servant, past the
+// Dispatch call (DESIGN.md §13). Use Bytes when the value is kept.
+func (d *Decoder) RawBytes() []byte {
+	n := d.U32()
+	if d.err != nil {
+		return nil
+	}
+	if n > MaxStringLen {
+		d.err = fmt.Errorf("orb: bytes length %d exceeds limit", n)
+		return nil
+	}
+	return d.take(int(n))
+}
+
+// RawString reads a length-prefixed string field as raw bytes, skipping the
+// string-conversion copy. Same aliasing rules as RawBytes; compare with
+// string(b) == "lit" (which the compiler keeps allocation-free) or
+// bytes.Equal. Use String when the value is kept.
+func (d *Decoder) RawString() []byte {
+	n := d.U32()
+	if d.err != nil {
+		return nil
+	}
+	if n > MaxStringLen {
+		d.err = fmt.Errorf("orb: string length %d exceeds limit", n)
+		return nil
+	}
+	return d.take(int(n))
 }
 
 // Time reads a time instant in UTC.

@@ -51,6 +51,52 @@ func BenchmarkSelect1000Offers(b *testing.B) {
 	}
 }
 
+// TestSelectUsesCompileCache pins the regression the cache fixes: a repeated
+// query must not recompile its constraint and preference. The cache is
+// package-global, so assert on stat deltas.
+func TestSelectUsesCompileCache(t *testing.T) {
+	s := benchTrader(10)
+	q := Query{ServiceType: "NodeStatus", Constraint: "mips_free >= 500 and exist cache_probe_tag", Preference: "mips_free + 0"}
+	if _, err := s.Select(q); err != nil {
+		t.Fatal(err)
+	}
+	hits0, misses0 := compileCache.Stats()
+	if _, err := s.Select(q); err != nil {
+		t.Fatal(err)
+	}
+	hits1, misses1 := compileCache.Stats()
+	if misses1 != misses0 {
+		t.Fatalf("repeated Select recompiled: misses %d -> %d", misses0, misses1)
+	}
+	if hits1-hits0 != 2 {
+		t.Fatalf("repeated Select should hit the cache for constraint and preference: hits %d -> %d", hits0, hits1)
+	}
+}
+
+// BenchmarkSelectCacheMiss measures the uncached path for comparison with
+// the Select benchmarks above (which, querying one source repeatedly, stay
+// on the hit path): every iteration presents a constraint source the cache
+// has evicted by the time it comes around again.
+func BenchmarkSelectCacheMiss(b *testing.B) {
+	s := benchTrader(100)
+	distinct := constraint.DefaultCacheSize * 4
+	queries := make([]Query, distinct)
+	for i := range queries {
+		queries[i] = Query{
+			ServiceType: "NodeStatus",
+			Constraint:  fmt.Sprintf("mips_free >= %d and os == 'linux'", 500+i),
+			Preference:  "mips_free",
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Select(queries[i%distinct]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkExportKeyedUpsert(b *testing.B) {
 	s := benchTrader(200)
 	offer := Offer{

@@ -40,6 +40,11 @@ type Offer struct {
 	// no expiry. LRM offers carry an expiry so that crashed nodes age out
 	// of the trader (the staleness the Information Update Protocol bounds).
 	Expires time.Time
+
+	// seq is the service-assigned export sequence number, the sort key of
+	// the per-type offer index. Offers constructed by callers have seq 0;
+	// Export assigns the real one.
+	seq int
 }
 
 // Query selects offers of a service type.
@@ -54,12 +59,26 @@ type Query struct {
 	Limit int
 }
 
+// compileCache memoizes constraint/preference compilation across every
+// trader instance. Query sources repeat heavily — the GRM renders the same
+// constraint text for every scheduling pass over a given application spec —
+// so Select hits the cache on all but the first sight of a source.
+var compileCache = constraint.NewCache(0)
+
 // Service is the in-memory trader. Safe for concurrent use.
+//
+// Offers are indexed two ways: by ID for describe/withdraw, and per service
+// type as a slice ordered by export sequence. Keeping the slice sorted at
+// insert and remove is what lets Select iterate candidates in deterministic
+// base order with no per-query sort (DESIGN.md §13).
 type Service struct {
 	// mu guards offers, byType and seq.
 	mu     sync.RWMutex
 	offers map[string]*Offer // by ID
-	byType map[string]map[string]*Offer
+	// byType holds, per service type, the live offers in ascending seq
+	// order. Export appends (seq is monotonic, so append preserves order);
+	// removeLocked deletes by binary search on seq.
+	byType map[string][]*Offer
 	seq    int
 	now    func() time.Time
 }
@@ -72,7 +91,7 @@ func NewService(now func() time.Time) *Service {
 	}
 	return &Service{
 		offers: make(map[string]*Offer),
-		byType: make(map[string]map[string]*Offer),
+		byType: make(map[string][]*Offer),
 		now:    now,
 	}
 }
@@ -86,18 +105,15 @@ func (s *Service) Export(o Offer) (string, error) {
 	defer s.mu.Unlock()
 	s.seq++
 	o.ID = fmt.Sprintf("offer-%d", s.seq)
+	o.seq = s.seq
 	props := make(constraint.Properties, len(o.Properties))
 	for k, v := range o.Properties {
 		props[k] = v
 	}
 	o.Properties = props
 	s.offers[o.ID] = &o
-	tm := s.byType[o.ServiceType]
-	if tm == nil {
-		tm = make(map[string]*Offer)
-		s.byType[o.ServiceType] = tm
-	}
-	tm[o.ID] = &o
+	// seq is monotonically increasing, so appending keeps the index sorted.
+	s.byType[o.ServiceType] = append(s.byType[o.ServiceType], &o)
 	return o.ID, nil
 }
 
@@ -109,9 +125,9 @@ func (s *Service) ExportKeyed(o Offer) (string, error) {
 		return "", fmt.Errorf("trading: offer without service type")
 	}
 	s.mu.Lock()
-	for id, existing := range s.byType[o.ServiceType] {
+	for _, existing := range s.byType[o.ServiceType] {
 		if existing.Ref == o.Ref {
-			s.removeLocked(id)
+			s.removeLocked(existing.ID)
 			break
 		}
 	}
@@ -135,14 +151,17 @@ func (s *Service) Withdraw(id string) error {
 func (s *Service) WithdrawRef(serviceType string, ref orb.ObjectRef) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	n := 0
-	for id, o := range s.byType[serviceType] {
+	// Collect first: removeLocked splices the very slice being iterated.
+	var ids []string
+	for _, o := range s.byType[serviceType] {
 		if o.Ref == ref {
-			s.removeLocked(id)
-			n++
+			ids = append(ids, o.ID)
 		}
 	}
-	return n
+	for _, id := range ids {
+		s.removeLocked(id)
+	}
+	return len(ids)
 }
 
 // Describe returns the offer by ID.
@@ -179,29 +198,22 @@ func (s *Service) Select(q Query) ([]Offer, error) {
 		err  error
 	)
 	if q.Constraint != "" {
-		if cons, err = constraint.Compile(q.Constraint); err != nil {
+		if cons, err = compileCache.Compile(q.Constraint); err != nil {
 			return nil, fmt.Errorf("trading: constraint: %w", err)
 		}
 	}
 	if q.Preference != "" {
-		if pref, err = constraint.Compile(q.Preference); err != nil {
+		if pref, err = compileCache.Compile(q.Preference); err != nil {
 			return nil, fmt.Errorf("trading: preference: %w", err)
 		}
 	}
 	s.pruneExpired()
 
+	// The per-type index is maintained in seq order, so the snapshot is
+	// already in deterministic base order — no per-query sort.
 	s.mu.RLock()
-	typed := s.byType[q.ServiceType]
-	candidates := make([]*Offer, 0, len(typed))
-	for _, o := range typed {
-		candidates = append(candidates, o)
-	}
+	candidates := append([]*Offer(nil), s.byType[q.ServiceType]...)
 	s.mu.RUnlock()
-
-	// Deterministic base order (by ID sequence) before filtering/ranking.
-	sort.Slice(candidates, func(i, j int) bool {
-		return offerSeq(candidates[i].ID) < offerSeq(candidates[j].ID)
-	})
 
 	type ranked struct {
 		offer *Offer
@@ -245,11 +257,17 @@ func (s *Service) removeLocked(id string) {
 		return
 	}
 	delete(s.offers, id)
-	if tm := s.byType[o.ServiceType]; tm != nil {
-		delete(tm, id)
-		if len(tm) == 0 {
-			delete(s.byType, o.ServiceType)
-		}
+	typed := s.byType[o.ServiceType]
+	// The index is sorted by seq, so the victim's position is a binary
+	// search away.
+	i := sort.Search(len(typed), func(i int) bool { return typed[i].seq >= o.seq })
+	if i < len(typed) && typed[i].seq == o.seq {
+		typed = append(typed[:i], typed[i+1:]...)
+	}
+	if len(typed) == 0 {
+		delete(s.byType, o.ServiceType)
+	} else {
+		s.byType[o.ServiceType] = typed
 	}
 }
 
