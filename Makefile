@@ -6,7 +6,7 @@ FUZZ_SMOKE_TIME ?= 30s
 # Seeds the chaos target sweeps; each runs the fault-injection suite once.
 CHAOS_SEEDS ?= 1 7 42
 
-.PHONY: all build test race vet lint interproc-lint fuzz-smoke fmt-check chaos bench-orb bench-orb-check ci
+.PHONY: all build test race vet lint interproc-lint fuzz-smoke fmt-check chaos failover bench-orb bench-orb-check ci
 
 all: build
 
@@ -51,6 +51,19 @@ chaos:
 			./internal/chaos ./internal/orb ./internal/grm ./internal/core || exit 1; \
 	done
 
+# GRM failover suite under the race detector, swept over the same fixed
+# seeds: standby replication and promotion, LRM re-registration and the
+# reconcile exchange, plus the end-to-end warm/cold recovery scenarios
+# (primary crash mid-superstep, crash during a registration burst, and the
+# double failover primary -> standby -> cold rebuild).
+failover:
+	@for seed in $(CHAOS_SEEDS); do \
+		echo "== failover suite, seed $$seed =="; \
+		CHAOS_SEED=$$seed $(GO) test -race -count=1 \
+			-run 'Failover|Standby|Reconcile|FileStore' \
+			./internal/core ./internal/grm ./internal/checkpoint || exit 1; \
+	done
+
 # ORB hot-path performance: the E12 microbenchmarks with allocation counts,
 # then the machine-readable report checked in as BENCH_orb.json (compare it
 # against the embedded pre_optimization_baseline block).
@@ -67,4 +80,4 @@ bench-orb-check:
 	$(GO) run ./cmd/integrade-bench -orb-json /tmp/BENCH_orb_ci.json -orb-short
 
 # Everything CI runs, in the same order.
-ci: build fmt-check vet lint interproc-lint race chaos bench-orb-check fuzz-smoke
+ci: build fmt-check vet lint interproc-lint race chaos failover bench-orb-check fuzz-smoke

@@ -209,6 +209,21 @@ func BenchmarkExp12ORBPerf(b *testing.B) {
 	})
 }
 
+func BenchmarkExp13Failover(b *testing.B) {
+	runExperiment(b, "E13", func(t bench.Table, b *testing.B) {
+		// First warm/cold rows are the 30 s detection threshold.
+		if i := rowByFirst(t, "warm"); i >= 0 {
+			b.ReportMetric(cell(t, i, "recover_s"), "warmRecover_s")
+			b.ReportMetric(cell(t, i, "inflight_lost"), "warmLost")
+			b.ReportMetric(cell(t, i, "makespan_min"), "warmMakespan_min")
+		}
+		if i := rowByFirst(t, "cold"); i >= 0 {
+			b.ReportMetric(cell(t, i, "inflight_lost"), "coldLost")
+			b.ReportMetric(cell(t, i, "makespan_min"), "coldMakespan_min")
+		}
+	})
+}
+
 func BenchmarkExp10Baselines(b *testing.B) {
 	runExperiment(b, "E10", func(t bench.Table, b *testing.B) {
 		if i := rowByFirst(t, "integrade"); i >= 0 {

@@ -9,6 +9,12 @@
 //
 // Resource-provider agents (integrade-lrm) then point at this address, and
 // integrade-asct submits applications to it.
+//
+// A failover pair runs one primary replicating to one warm standby; the
+// standby promotes itself when the stream goes silent:
+//
+//	integrade-grm -listen :7000 -cluster ime -replicate-to host2:7000
+//	integrade-grm -listen :7000 -cluster ime -standby        # on host2
 package main
 
 import (
@@ -44,6 +50,8 @@ func run() error {
 		offerTTL  = flag.Duration("offer-ttl", grm.DefaultOfferTTL, "node offer expiry")
 		schedule  = flag.Duration("schedule-period", grm.DefaultSchedulePeriod, "pending-task scheduling period")
 		parentRef = flag.String("parent", "", "parent hierarchy node reference (tcp://host:port/hierarchy)")
+		standby   = flag.Bool("standby", false, "start as a warm standby: mirror a primary's replication stream and promote when it goes silent")
+		replTo    = flag.String("replicate-to", "", "standby GRM TCP address to stream state to (primary side of a failover pair)")
 		verbose   = flag.Bool("v", false, "verbose logging")
 	)
 	flag.Parse()
@@ -109,10 +117,25 @@ func run() error {
 		}
 	}
 
-	g.Start()
+	if *standby {
+		// Passive until the primary's replication stream goes silent past
+		// the detection threshold; Promote() then starts the scheduler.
+		g.BecomeStandby(grm.StandbyConfig{OnPromote: func() {
+			fmt.Println("primary silent — promoted to active cluster manager")
+		}})
+	} else {
+		g.Start()
+	}
 	defer g.Stop()
+	if *replTo != "" {
+		g.AttachStandby(orb.ObjectRef{
+			Endpoint: orb.Endpoint{Net: orb.NetTCP, Addr: *replTo},
+			Key:      protocol.GRMKey,
+		})
+		fmt.Printf("  replicating to standby at %s\n", *replTo)
+	}
 
-	fmt.Printf("cluster manager %q up\n", *cluster)
+	fmt.Printf("cluster manager %q up (role %s)\n", *cluster, g.Role())
 	fmt.Printf("  GRM:       %s\n", srv.Ref(protocol.GRMKey))
 	fmt.Printf("  GUPA:      %s\n", srv.Ref(gupa.ObjectKey))
 	fmt.Printf("  Naming:    %s\n", srv.Ref(naming.ObjectKey))
@@ -130,9 +153,9 @@ func run() error {
 			return nil
 		case <-ticker.C:
 			st := g.Stats()
-			fmt.Printf("[%s] nodes=%d updates=%d submissions=%d placed=%d pending-evictions=%d\n",
-				time.Now().Format("15:04:05"), g.KnownNodes(), st.UpdatesReceived,
-				st.Submissions, st.TasksPlaced, st.TasksEvicted)
+			fmt.Printf("[%s] role=%s nodes=%d updates=%d submissions=%d placed=%d pending-evictions=%d replica-batches=%d\n",
+				time.Now().Format("15:04:05"), g.Role(), g.KnownNodes(), st.UpdatesReceived,
+				st.Submissions, st.TasksPlaced, st.TasksEvicted, st.ReplicaBatches)
 		}
 	}
 }

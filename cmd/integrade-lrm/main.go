@@ -18,6 +18,8 @@ import (
 	"log/slog"
 	"os"
 	"os/signal"
+	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -41,7 +43,7 @@ func main() {
 
 func run() error {
 	var (
-		grmAddr = flag.String("grm", "127.0.0.1:7000", "cluster manager TCP address")
+		grmAddr = flag.String("grm", "127.0.0.1:7000", "cluster manager TCP address(es), comma-separated; extras are failover candidates")
 		listen  = flag.String("listen", "127.0.0.1:0", "TCP address for this agent")
 		id      = flag.String("id", "", "node identifier (default: host-pid)")
 		mips    = flag.Float64("mips", 1000, "CPU speed in MIPS")
@@ -116,18 +118,31 @@ func run() error {
 	}
 	defer srv.Close()
 
+	addrs := strings.Split(*grmAddr, ",")
 	grmRef := orb.ObjectRef{
-		Endpoint: orb.Endpoint{Net: orb.NetTCP, Addr: *grmAddr},
+		Endpoint: orb.Endpoint{Net: orb.NetTCP, Addr: addrs[0]},
 		Key:      protocol.GRMKey,
 	}
 	gupaRef := orb.ObjectRef{
-		Endpoint: orb.Endpoint{Net: orb.NetTCP, Addr: *grmAddr},
+		Endpoint: orb.Endpoint{Net: orb.NetTCP, Addr: addrs[0]},
 		Key:      gupa.ObjectKey,
+	}
+	// After repeated update failures the agent re-registers, rotating
+	// through the candidate managers (the promoted standby of a failover
+	// pair, or the restarted primary itself).
+	var rotation atomic.Int64
+	resolver := func() (orb.ObjectRef, error) {
+		addr := addrs[int(rotation.Add(1))%len(addrs)]
+		return orb.ObjectRef{
+			Endpoint: orb.Endpoint{Net: orb.NetTCP, Addr: addr},
+			Key:      protocol.GRMKey,
+		}, nil
 	}
 	agent := lrm.New(n, clock, o, srv.Ref(protocol.LRMKey), grmRef,
 		lrm.WithUpdatePeriod(*update),
 		lrm.WithGUPA(gupa.NewClient(o, gupaRef)),
 		lrm.WithLogger(log),
+		lrm.WithGRMResolver(resolver),
 	)
 	if err := adapter.Register(protocol.LRMKey, agent.Servant()); err != nil {
 		return err

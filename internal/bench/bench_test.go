@@ -43,8 +43,8 @@ func TestFormatFloat(t *testing.T) {
 
 func TestAllRegistered(t *testing.T) {
 	exps := All()
-	if len(exps) != 15 {
-		t.Fatalf("experiments = %d, want 15 (E1-E12 + A1-A3)", len(exps))
+	if len(exps) != 16 {
+		t.Fatalf("experiments = %d, want 16 (E1-E13 + A1-A3)", len(exps))
 	}
 	seen := make(map[string]bool)
 	for _, e := range exps {
@@ -153,6 +153,56 @@ func TestAblationMaxAttemptsShape(t *testing.T) {
 			t.Fatalf("placements decreased with larger budget: %v", tb.Rows)
 		}
 		prev = placed
+	}
+}
+
+func TestExp13Shape(t *testing.T) {
+	tb := Exp13Failover(1)
+	if len(tb.Rows) != 7 {
+		t.Fatalf("rows = %d, want 7 (none + 3 thresholds x cold/warm)", len(tb.Rows))
+	}
+	col := func(name string) int {
+		for i, c := range tb.Columns {
+			if c == name {
+				return i
+			}
+		}
+		t.Fatalf("missing column %s", name)
+		return -1
+	}
+	pct, lost, ms, rec := col("completion_pct"), col("inflight_lost"), col("makespan_min"), col("recover_s")
+
+	// No failover: the pending wave is stranded, the cluster never recovers.
+	if tb.Rows[0][0] != "none" || tb.Rows[0][rec] != "-" || tb.Rows[0][pct] == "100" {
+		t.Fatalf("no-failover row = %v", tb.Rows[0])
+	}
+	for i := 1; i < len(tb.Rows); i += 2 {
+		cold, warm := tb.Rows[i], tb.Rows[i+1]
+		if cold[0] != "cold" || warm[0] != "warm" {
+			t.Fatalf("unexpected mode order: %v / %v", cold, warm)
+		}
+		// Both modes recover the full bag...
+		if cold[pct] != "100" || warm[pct] != "100" {
+			t.Fatalf("failover modes incomplete: %v / %v", cold, warm)
+		}
+		if cold[rec] == "-" || warm[rec] == "-" {
+			t.Fatalf("recovery time missing: %v / %v", cold, warm)
+		}
+		// ...but only the warm standby preserves in-flight work: the cold
+		// rebuild reaps and repeats it, which must cost makespan.
+		coldLost, _ := strconv.Atoi(cold[lost])
+		warmLost, _ := strconv.Atoi(warm[lost])
+		if warmLost != 0 {
+			t.Fatalf("warm standby lost in-flight tasks: %v", warm)
+		}
+		if coldLost == 0 {
+			t.Fatalf("cold rebuild reaped nothing: %v", cold)
+		}
+		coldMs, _ := strconv.ParseFloat(cold[ms], 64)
+		warmMs, _ := strconv.ParseFloat(warm[ms], 64)
+		if warmMs >= coldMs {
+			t.Fatalf("warm makespan %v not better than cold %v (detect %s)", warmMs, coldMs, cold[1])
+		}
 	}
 }
 

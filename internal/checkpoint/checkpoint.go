@@ -24,6 +24,16 @@ import (
 // ErrNoSnapshot indicates no checkpoint exists for an application.
 var ErrNoSnapshot = errors.New("checkpoint: no snapshot")
 
+// Storage is what Resume needs from a snapshot store. Both the in-memory
+// Store and the durable FileStore satisfy it, so a BSP run can resume from
+// either — including under a different GRM than the one it started under.
+type Storage interface {
+	Save(appID string, superstep int, states [][]byte) error
+	Latest(appID string) (Snapshot, error)
+	Drop(appID string)
+	Sink(appID string) bsp.CheckpointSink
+}
+
 // Snapshot is one application-wide checkpoint: the portable state of every
 // process at a superstep barrier.
 type Snapshot struct {
@@ -169,7 +179,7 @@ func (f sinkFunc) Save(superstep int, states [][]byte) error {
 // into store, restoring from the application's latest snapshot when one
 // exists (rollback recovery / migration restart). On success the snapshot
 // is dropped.
-func Resume(store *Store, appID string, nprocs, every int, program bsp.Program) error {
+func Resume(store Storage, appID string, nprocs, every int, program bsp.Program) error {
 	return ResumeRuntime(store, appID, nprocs, every, program, nil)
 }
 
@@ -177,7 +187,7 @@ func Resume(store *Store, appID string, nprocs, every int, program bsp.Program) 
 // configured runtime before it starts, so callers can arm external controls
 // — notably Runtime.Abort from a failure detector — against the active run.
 // The hook is called again with nil once the run ends.
-func ResumeRuntime(store *Store, appID string, nprocs, every int, program bsp.Program, onRuntime func(*bsp.Runtime)) error {
+func ResumeRuntime(store Storage, appID string, nprocs, every int, program bsp.Program, onRuntime func(*bsp.Runtime)) error {
 	opts := []bsp.Option{bsp.WithCheckpoint(every, store.Sink(appID))}
 	if cp, err := store.Latest(appID); err == nil {
 		if len(cp.States) != nprocs {

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"integrade/internal/bsp"
+	"integrade/internal/orb"
 )
 
 func TestFileStoreSaveLatestDrop(t *testing.T) {
@@ -116,6 +117,102 @@ func TestFileStoreCorruptFile(t *testing.T) {
 	}
 	if _, err := fs.Latest("bad"); err == nil {
 		t.Fatal("corrupt snapshot decoded")
+	}
+}
+
+// flipByte flips one bit in the middle of a file's payload region.
+func flipByte(t *testing.T, path string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) <= fileHeaderLen {
+		t.Fatalf("file too short to corrupt: %d bytes", len(data))
+	}
+	data[fileHeaderLen+len(data[fileHeaderLen:])/2] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFileStoreBitFlipFallsBackToPreviousEpoch is the integrity story end to
+// end: a bit-flipped current epoch fails its CRC and Latest silently serves
+// the previous epoch instead of failing the resume.
+func TestFileStoreBitFlipFallsBackToPreviousEpoch(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := NewFileStore(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Save("job", 2, [][]byte{u64(11), u64(12)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Save("job", 4, [][]byte{u64(21), u64(22)}); err != nil {
+		t.Fatal(err)
+	}
+	// Sanity: the current epoch wins while intact.
+	cp, err := fs.Latest("job")
+	if err != nil || cp.Superstep != 4 {
+		t.Fatalf("Latest before corruption = %+v, %v", cp, err)
+	}
+	flipByte(t, fs.path("job"))
+	cp, err = fs.Latest("job")
+	if err != nil {
+		t.Fatalf("Latest after bit flip: %v", err)
+	}
+	if cp.Superstep != 2 || fromU64(cp.States[0]) != 11 || fromU64(cp.States[1]) != 12 {
+		t.Fatalf("fallback snapshot = %+v, want the superstep-2 epoch", cp)
+	}
+	// Both epochs corrupt: the failure surfaces as ErrCorrupt.
+	flipByte(t, fs.path("job")+prevSuffix)
+	if _, err := fs.Latest("job"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err with both epochs corrupt = %v", err)
+	}
+	// Drop clears both epochs.
+	fs.Drop("job")
+	if _, err := os.Stat(fs.path("job") + prevSuffix); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("previous epoch survived Drop: %v", err)
+	}
+}
+
+// TestFileStoreCorruptWithoutFallbackFails: a single corrupt epoch with no
+// previous file to fall back to is an error, not a silent empty resume.
+func TestFileStoreCorruptWithoutFallbackFails(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := NewFileStore(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Save("solo", 1, [][]byte{u64(7)}); err != nil {
+		t.Fatal(err)
+	}
+	flipByte(t, fs.path("solo"))
+	if _, err := fs.Latest("solo"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestFileStoreReadsLegacyHeaderlessFiles: snapshot files written before the
+// integrity header (raw wire encoding, no magic) still load.
+func TestFileStoreReadsLegacyHeaderlessFiles(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := NewFileStore(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := Snapshot{AppID: "legacy", Superstep: 3, States: [][]byte{u64(5)}, TakenAt: time.Unix(9, 0).UTC()}
+	var e orb.Encoder
+	cp.Encode(&e)
+	if err := os.WriteFile(fs.path("legacy"), e.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.Latest("legacy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Superstep != 3 || fromU64(got.States[0]) != 5 {
+		t.Fatalf("legacy snapshot = %+v", got)
 	}
 }
 

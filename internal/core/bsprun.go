@@ -62,32 +62,48 @@ func (g *Grid) RunBSP(job BSPJob, program bsp.Program) error {
 	// the program runs and are cancelled afterwards. RestartEvicted lets
 	// the failure detector re-place the gang's placeholders on surviving
 	// nodes when a member's machine dies mid-run.
-	handle, err := g.Submit(asct.NewApplication(job.Name).
-		BSP(job.Procs, 1e18).
-		Allocate(job.Alloc).
-		RestartEvicted())
-	if err != nil {
-		return fmt.Errorf("core: acquire gang: %w", err)
+	acquire := func() (*Handle, error) {
+		handle, err := g.Submit(asct.NewApplication(job.Name).
+			BSP(job.Procs, 1e18).
+			Allocate(job.Alloc).
+			RestartEvicted())
+		if err != nil {
+			return nil, fmt.Errorf("core: acquire gang: %w", err)
+		}
+		st, err := handle.Status()
+		if err != nil {
+			_ = handle.Cancel()
+			return nil, err
+		}
+		for _, task := range st.Tasks {
+			if task.State != protocol.TaskRunning {
+				_ = handle.Cancel()
+				return nil, fmt.Errorf("%w: %d processes requested, placement incomplete", ErrNoCapacity, job.Procs)
+			}
+		}
+		return handle, nil
 	}
-	defer func() {
-		_ = handle.Cancel()
-	}()
-	st, err := handle.Status()
+	handle, err := acquire()
 	if err != nil {
 		return err
 	}
-	for _, task := range st.Tasks {
-		if task.State != protocol.TaskRunning {
-			return fmt.Errorf("%w: %d processes requested, placement incomplete", ErrNoCapacity, job.Procs)
+	defer func() {
+		if handle != nil {
+			_ = handle.Cancel()
 		}
-	}
+	}()
 
 	// Phase 2: run with rollback recovery. The active runtime is registered
 	// under the placement's app ID so the GRM's failure detector can abort
 	// the gang (waking processes parked at barriers) when a member node is
 	// declared dead; the next attempt restores from the latest snapshot.
-	appID := handle.ID()
-	onRuntime := func(rt *bsp.Runtime) {
+	//
+	// A failover can also invalidate the placement itself: when the current
+	// handle's app is unknown to the cluster's (new) manager, the gang is
+	// re-acquired through the normal submission path before resuming —
+	// checkpoints live in the grid store, not in the manager, so the restore
+	// point survives the manager.
+	register := func(appID string, rt *bsp.Runtime) {
 		g.bspMu.Lock()
 		if rt == nil {
 			delete(g.bspRuns, appID)
@@ -98,9 +114,31 @@ func (g *Grid) RunBSP(job BSPJob, program bsp.Program) error {
 	}
 	var lastErr error
 	for attempt := 0; attempt <= job.MaxRestarts; attempt++ {
-		lastErr = checkpoint.ResumeRuntime(g.store, job.Name, job.Procs, every, program, onRuntime)
+		if handle == nil {
+			h, err := acquire()
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			handle = h
+		}
+		appID := handle.ID()
+		lastErr = checkpoint.ResumeRuntime(g.store, job.Name, job.Procs, every, program,
+			func(rt *bsp.Runtime) { register(appID, rt) })
 		if lastErr == nil {
 			return nil
+		}
+		// The placement is stale when its manager no longer knows the app
+		// (cold rebuild) or the run was aborted because the manager was torn
+		// down mid-flight; drop it so the next attempt re-acquires.
+		if errors.Is(lastErr, ErrManagerLost) {
+			_ = handle.Cancel()
+			handle = nil
+			continue
+		}
+		if _, err := handle.Status(); err != nil {
+			_ = handle.Cancel()
+			handle = nil
 		}
 	}
 	return fmt.Errorf("core: BSP job %q failed after %d attempt(s): %w",

@@ -24,6 +24,7 @@ import (
 	"integrade/internal/gupa"
 	"integrade/internal/hierarchy"
 	"integrade/internal/lrm"
+	"integrade/internal/naming"
 	"integrade/internal/ncc"
 	"integrade/internal/node"
 	"integrade/internal/orb"
@@ -44,12 +45,20 @@ type Grid struct {
 	rng    *sim.RNG
 	log    *slog.Logger
 	store  *checkpoint.Store
-	// mu guards clusters, order, stopped and chaos.
+	// naming is the grid's name directory: every cluster manager is bound
+	// under "clusters/<id>/grm", and LRMs re-resolve through it after their
+	// GRM dies (the self-healing path).
+	naming    *naming.Service
+	namingRef orb.ObjectRef
+	// mu guards clusters, order, links, stopped and chaos.
 	mu       sync.Mutex
 	clusters map[string]*Cluster
 	order    []string
-	stopped  bool
-	chaos    *chaos.Engine
+	// links records the hierarchy topology (child cluster ID -> parent
+	// cluster ID) so a promoted or rebuilt manager can be re-parented.
+	links   map[string]string
+	stopped bool
+	chaos   *chaos.Engine
 
 	// bspMu guards bspRuns: the in-flight BSP runtime per application,
 	// registered by RunBSP so the failure detector can abort a gang whose
@@ -89,15 +98,25 @@ func NewGrid(opts ...Option) *Grid {
 		orb:      orb.New(),
 		rng:      sim.NewRNG(1),
 		log:      slog.New(slog.DiscardHandler),
+		naming:   naming.NewService(),
 		clusters: make(map[string]*Cluster),
+		links:    make(map[string]string),
 		bspRuns:  make(map[string]*bsp.Runtime),
 	}
 	for _, opt := range opts {
 		opt(g)
 	}
 	g.store = checkpoint.NewStore(g.clock.Now)
+	adapter := orb.NewAdapter()
+	// A fresh ORB cannot already hold these names; errors are impossible.
+	_ = adapter.Register(naming.ObjectKey, naming.Servant(g.naming))
+	ep, _ := g.orb.BindLoopback("naming", adapter)
+	g.namingRef = orb.ObjectRef{Endpoint: ep, Key: naming.ObjectKey}
 	return g
 }
+
+// Naming returns the grid's name directory.
+func (g *Grid) Naming() *naming.Service { return g.naming }
 
 // Clock returns the grid clock.
 func (g *Grid) Clock() sim.Clock { return g.clock }
@@ -171,7 +190,7 @@ func (g *Grid) Submit(b *asct.Builder) (*Handle, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := root.hnode.Submit(spec)
+	res, err := root.Hierarchy().Submit(spec)
 	if err != nil {
 		return nil, err
 	}
@@ -192,7 +211,7 @@ func (g *Grid) SubmitTo(clusterID string, b *asct.Builder) (*Handle, error) {
 	if err != nil {
 		return nil, err
 	}
-	appID, err := c.grm.Submit(spec)
+	appID, err := c.GRM().Submit(spec)
 	if err != nil {
 		return nil, err
 	}
@@ -216,14 +235,14 @@ func (h *Handle) ClusterID() string { return h.cluster.id }
 // Hops returns the hierarchy hops the submission travelled.
 func (h *Handle) Hops() int { return h.hops }
 
-// Status fetches the application status.
+// Status fetches the application status from the cluster's active manager.
 func (h *Handle) Status() (protocol.AppStatus, error) {
-	return h.cluster.grm.AppStatus(h.appID)
+	return h.cluster.GRM().AppStatus(h.appID)
 }
 
 // Cancel aborts the application.
 func (h *Handle) Cancel() error {
-	return h.cluster.grm.CancelApp(h.appID)
+	return h.cluster.GRM().CancelApp(h.appID)
 }
 
 // WaitSimulated advances virtual time in poll-sized steps until the
@@ -253,16 +272,19 @@ func (h *Handle) WaitSimulated(maxSim, poll time.Duration) (protocol.AppStatus, 
 
 // Cluster is one InteGrade cluster inside a Grid.
 type Cluster struct {
-	id      string
-	grid    *Grid
-	grm     *grm.GRM
-	gupaSvc *gupa.Service
-	hnode   *hierarchy.Node
-	grmRef  orb.ObjectRef
-	gupaRef orb.ObjectRef
-	href    orb.ObjectRef
+	id   string
+	grid *Grid
 
 	updatePeriod time.Duration
+	grmOpts      []grm.Option // retained for standby / cold-rebuild incarnations
+
+	// mgmtMu guards the swappable manager identity: the active manager
+	// incarnation, the warm standby (nil when none) and the incarnation
+	// counter. Held only for field swaps, never across RPCs.
+	mgmtMu  sync.Mutex
+	mgr     *manager
+	standby *manager
+	gen     int
 
 	// mu guards nodes, lrms and seq.
 	mu    sync.Mutex
@@ -318,42 +340,23 @@ func (g *Grid) AddCluster(id string, opts ...ClusterOption) (*Cluster, error) {
 		return nil, fmt.Errorf("core: cluster %q already exists", id)
 	}
 
-	c := &Cluster{id: id, grid: g}
-	c.grm = grm.New(id, g.clock, g.orb, append([]grm.Option{
-		grm.WithRNG(g.rng.Fork("grm-" + id)),
-		grm.WithLogger(g.log),
-		grm.WithEvictionObserver(g.abortBSP),
-	}, cfg.grmOpts...)...)
-	c.gupaSvc = gupa.NewService()
-	c.hnode = hierarchy.NewNode(c.grm, g.orb)
-	c.updatePeriod = cfg.updatePeriod
-
-	adapter := orb.NewAdapter()
-	if err := adapter.Register(protocol.GRMKey, c.grm.Servant()); err != nil {
-		return nil, err
-	}
-	if err := adapter.Register(gupa.ObjectKey, gupa.Servant(c.gupaSvc)); err != nil {
-		return nil, err
-	}
-	if err := adapter.Register(hierarchy.ObjectKey, c.hnode.Servant()); err != nil {
-		return nil, err
-	}
-	ep, err := g.orb.BindLoopback("mgr-"+id, adapter)
+	c := &Cluster{id: id, grid: g, updatePeriod: cfg.updatePeriod, grmOpts: cfg.grmOpts}
+	m, err := c.buildManager(0)
 	if err != nil {
 		return nil, err
 	}
-	c.grmRef = orb.ObjectRef{Endpoint: ep, Key: protocol.GRMKey}
-	c.gupaRef = orb.ObjectRef{Endpoint: ep, Key: gupa.ObjectKey}
-	c.href = orb.ObjectRef{Endpoint: ep, Key: hierarchy.ObjectKey}
-	c.hnode.SetSelfRef(c.href)
-	c.grm.Start()
+	c.mgr = m
+	m.grm.Start()
+	_ = g.naming.Rebind(grmName(id), m.grmRef)
 
 	g.clusters[id] = c
 	g.order = append(g.order, id)
 	return c, nil
 }
 
-// LinkChild places child under parent in the inter-cluster hierarchy.
+// LinkChild places child under parent in the inter-cluster hierarchy. The
+// link is recorded grid-side too, so a failed-over manager can be re-parented
+// into the same topology.
 func (g *Grid) LinkChild(parentID, childID string) error {
 	parent, ok := g.Cluster(parentID)
 	if !ok {
@@ -363,30 +366,48 @@ func (g *Grid) LinkChild(parentID, childID string) error {
 	if !ok {
 		return fmt.Errorf("core: unknown cluster %q", childID)
 	}
-	parent.hnode.AddChild(childID, child.href)
-	child.hnode.SetParent(parent.href)
+	pm, cm := parent.manager(), child.manager()
+	pm.hnode.AddChild(childID, cm.href)
+	cm.hnode.SetParent(pm.href)
+	g.mu.Lock()
+	g.links[childID] = parentID
+	g.mu.Unlock()
 	return nil
 }
 
 // ID returns the cluster ID.
 func (c *Cluster) ID() string { return c.id }
 
-// GRM exposes the cluster's resource manager (stats, direct submission).
-func (c *Cluster) GRM() *grm.GRM { return c.grm }
+// manager returns the active manager incarnation.
+func (c *Cluster) manager() *manager {
+	c.mgmtMu.Lock()
+	defer c.mgmtMu.Unlock()
+	return c.mgr
+}
+
+// GRM exposes the cluster's active resource manager (stats, direct
+// submission). After a failover this is the promoted or rebuilt incarnation.
+func (c *Cluster) GRM() *grm.GRM { return c.manager().grm }
 
 // GUPA exposes the cluster's usage-pattern aggregator.
-func (c *Cluster) GUPA() *gupa.Service { return c.gupaSvc }
+func (c *Cluster) GUPA() *gupa.Service { return c.manager().gupaSvc }
 
 // Hierarchy exposes the cluster's hierarchy node.
-func (c *Cluster) Hierarchy() *hierarchy.Node { return c.hnode }
+func (c *Cluster) Hierarchy() *hierarchy.Node { return c.manager().hnode }
 
 // Tool returns an ASCT connected to this cluster's GRM.
 func (c *Cluster) Tool() *asct.Tool {
-	return asct.New(c.grid.orb, c.grmRef, c.grid.clock)
+	return asct.New(c.grid.orb, c.manager().grmRef, c.grid.clock)
 }
 
 func (c *Cluster) stop() {
-	c.grm.Stop()
+	c.mgmtMu.Lock()
+	mgr, standby := c.mgr, c.standby
+	c.mgmtMu.Unlock()
+	mgr.grm.Stop()
+	if standby != nil {
+		standby.grm.Stop()
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for _, l := range c.lrms {
@@ -493,10 +514,19 @@ func (c *Cluster) AddNodes(cfg NodeConfig) ([]string, error) {
 			return nil, err
 		}
 		selfRef := orb.ObjectRef{Endpoint: ep, Key: protocol.LRMKey}
-		l := lrm.New(n, g.clock, g.orb, selfRef, c.grmRef,
+		// The LRM re-resolves its GRM through Naming (over the ORB, so the
+		// lookup is subject to the same faults as any call) after repeated
+		// update failures — the cluster self-heals around a dead manager.
+		nclient := naming.NewClient(g.orb, g.namingRef)
+		name := grmName(c.id)
+		mgr := c.manager()
+		l := lrm.New(n, g.clock, g.orb, selfRef, mgr.grmRef,
 			lrm.WithUpdatePeriod(c.updatePeriod),
-			lrm.WithGUPA(gupa.NewClient(g.orb, c.gupaRef)),
+			lrm.WithGUPA(gupa.NewClient(g.orb, mgr.gupaRef)),
 			lrm.WithLogger(g.log),
+			lrm.WithGRMResolver(func() (orb.ObjectRef, error) {
+				return nclient.Resolve(name)
+			}),
 		)
 		if err := adapter.Register(protocol.LRMKey, l.Servant()); err != nil {
 			return nil, err

@@ -1,0 +1,289 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"integrade/internal/bsp"
+	"integrade/internal/grm"
+	"integrade/internal/gupa"
+	"integrade/internal/hierarchy"
+	"integrade/internal/orb"
+	"integrade/internal/protocol"
+)
+
+// ErrManagerLost is the abort cause handed to in-flight BSP runtimes when
+// their cluster's manager is torn down and rebuilt from cold: the placement
+// the run holds no longer exists anywhere, so RunBSP must re-acquire a gang
+// before resuming from the last checkpoint.
+var ErrManagerLost = errors.New("core: cluster manager lost")
+
+// manager is one incarnation of a cluster's management plane: the GRM (with
+// its embedded trader), the GUPA and the hierarchy node, all served from one
+// loopback endpoint. Failover swaps the whole incarnation at once.
+type manager struct {
+	grm     *grm.GRM
+	gupaSvc *gupa.Service
+	hnode   *hierarchy.Node
+	ep      string // loopback endpoint name (also the chaos-isolation addr)
+	grmRef  orb.ObjectRef
+	gupaRef orb.ObjectRef
+	href    orb.ObjectRef
+}
+
+// grmName is a cluster manager's well-known Naming path.
+func grmName(clusterID string) string { return "clusters/" + clusterID + "/grm" }
+
+// buildManager constructs (but does not start) a manager incarnation on its
+// own endpoint. Generation 0 is the original manager; later generations get
+// suffixed endpoints and their own RNG streams so a failover never replays
+// the dead incarnation's randomness.
+func (c *Cluster) buildManager(gen int) (*manager, error) {
+	g := c.grid
+	ep, rngName := "mgr-"+c.id, "grm-"+c.id
+	if gen > 0 {
+		ep = fmt.Sprintf("mgr-%s-g%d", c.id, gen)
+		rngName = fmt.Sprintf("grm-%s-g%d", c.id, gen)
+	}
+	m := &manager{ep: ep}
+	m.grm = grm.New(c.id, g.clock, g.orb, append([]grm.Option{
+		grm.WithRNG(g.rng.Fork(rngName)),
+		grm.WithLogger(g.log),
+		grm.WithEvictionObserver(g.abortBSP),
+	}, c.grmOpts...)...)
+	m.gupaSvc = gupa.NewService()
+	m.hnode = hierarchy.NewNode(m.grm, g.orb)
+
+	adapter := orb.NewAdapter()
+	if err := adapter.Register(protocol.GRMKey, m.grm.Servant()); err != nil {
+		return nil, err
+	}
+	if err := adapter.Register(gupa.ObjectKey, gupa.Servant(m.gupaSvc)); err != nil {
+		return nil, err
+	}
+	if err := adapter.Register(hierarchy.ObjectKey, m.hnode.Servant()); err != nil {
+		return nil, err
+	}
+	bound, err := g.orb.BindLoopback(ep, adapter)
+	if err != nil {
+		return nil, err
+	}
+	m.grmRef = orb.ObjectRef{Endpoint: bound, Key: protocol.GRMKey}
+	m.gupaRef = orb.ObjectRef{Endpoint: bound, Key: gupa.ObjectKey}
+	m.href = orb.ObjectRef{Endpoint: bound, Key: hierarchy.ObjectKey}
+	m.hnode.SetSelfRef(m.href)
+	return m, nil
+}
+
+// EnableStandby attaches a warm-standby manager to the cluster: a passive
+// GRM incarnation that tails the primary's replication stream and promotes
+// itself when the stream goes silent past the detection threshold. Calling
+// it again replaces any previous standby with a fresh one (re-armed after a
+// failover, for instance).
+func (c *Cluster) EnableStandby() error {
+	c.mgmtMu.Lock()
+	c.gen++
+	gen := c.gen
+	primary := c.mgr
+	c.mgmtMu.Unlock()
+
+	sb, err := c.buildManager(gen)
+	if err != nil {
+		return err
+	}
+	sb.grm.BecomeStandby(grm.StandbyConfig{OnPromote: func() { c.promoteStandby() }})
+
+	c.mgmtMu.Lock()
+	old := c.standby
+	c.standby = sb
+	c.mgmtMu.Unlock()
+	if old != nil {
+		old.grm.Stop()
+		c.grid.orb.Loopback().Unbind(old.ep)
+	}
+	primary.grm.AttachStandby(sb.grmRef)
+	return nil
+}
+
+// Standby returns the cluster's warm-standby GRM, or nil when none is armed.
+func (c *Cluster) Standby() *grm.GRM {
+	c.mgmtMu.Lock()
+	defer c.mgmtMu.Unlock()
+	if c.standby == nil {
+		return nil
+	}
+	return c.standby.grm
+}
+
+// CrashGRM kills a cluster's active manager with no warning: its timers
+// stop, its endpoint disappears, and every call to it — LRM updates, status
+// queries, replication acks — fails with a transport error. Detection and
+// recovery are entirely up to the standby monitor and the LRMs'
+// re-registration loops. The chaos hook for experiment E13 and the failover
+// tests.
+func (g *Grid) CrashGRM(clusterID string) error {
+	c, ok := g.Cluster(clusterID)
+	if !ok {
+		return fmt.Errorf("core: unknown cluster %q", clusterID)
+	}
+	c.mgmtMu.Lock()
+	mgr := c.mgr
+	c.mgmtMu.Unlock()
+	mgr.grm.Stop()
+	g.orb.Loopback().Unbind(mgr.ep)
+	if e := g.Chaos(); e != nil {
+		e.Isolate(mgr.ep)
+	}
+	g.log.Info("GRM crashed", "cluster", clusterID, "endpoint", mgr.ep)
+	return nil
+}
+
+// PromoteGRM forces an immediate failover: the active manager is crashed and
+// the standby promotes without waiting for its heartbeat monitor to time the
+// primary out. It is an error when no standby is armed.
+func (g *Grid) PromoteGRM(clusterID string) error {
+	c, ok := g.Cluster(clusterID)
+	if !ok {
+		return fmt.Errorf("core: unknown cluster %q", clusterID)
+	}
+	c.mgmtMu.Lock()
+	sb := c.standby
+	c.mgmtMu.Unlock()
+	if sb == nil {
+		return fmt.Errorf("core: cluster %q has no standby", clusterID)
+	}
+	if err := g.CrashGRM(clusterID); err != nil {
+		return err
+	}
+	sb.grm.Promote() // fires OnPromote -> promoteStandby
+	return nil
+}
+
+// promoteStandby is the OnPromote callback: the standby has already switched
+// role and started scheduling; here the grid swaps it in as the cluster's
+// active manager and re-points Naming and the hierarchy at it.
+func (c *Cluster) promoteStandby() {
+	c.mgmtMu.Lock()
+	sb := c.standby
+	if sb == nil {
+		c.mgmtMu.Unlock()
+		return
+	}
+	old := c.mgr
+	c.mgr = sb
+	c.standby = nil
+	c.mgmtMu.Unlock()
+
+	old.grm.Stop() // idempotent; the primary is usually already dead
+	c.grid.rebindManager(c, sb)
+	c.grid.log.Info("standby GRM promoted", "cluster", c.id, "endpoint", sb.ep)
+}
+
+// RestartGRM rebuilds a cluster's manager from cold: a fresh, empty GRM on a
+// new endpoint. No state carries over — the cluster re-heals entirely from
+// LRM re-registration (which re-exports the trader offers) and from the
+// reconcile exchange that reaps the dead manager's orphaned placements.
+// Any stale standby of the dead manager is discarded, and in-flight BSP runs
+// that held placements under the old manager are aborted with ErrManagerLost
+// so they re-acquire under the new one.
+func (g *Grid) RestartGRM(clusterID string) error {
+	c, ok := g.Cluster(clusterID)
+	if !ok {
+		return fmt.Errorf("core: unknown cluster %q", clusterID)
+	}
+	c.mgmtMu.Lock()
+	c.gen++
+	gen := c.gen
+	c.mgmtMu.Unlock()
+
+	m, err := c.buildManager(gen)
+	if err != nil {
+		return err
+	}
+	m.grm.Start()
+
+	c.mgmtMu.Lock()
+	old := c.mgr
+	c.mgr = m
+	sb := c.standby
+	c.standby = nil
+	c.mgmtMu.Unlock()
+
+	old.grm.Stop()
+	g.orb.Loopback().Unbind(old.ep)
+	if sb != nil {
+		sb.grm.Stop()
+		g.orb.Loopback().Unbind(sb.ep)
+	}
+	g.rebindManager(c, m)
+	g.abortClusterRuns(clusterID)
+	g.log.Info("GRM rebuilt from cold", "cluster", clusterID, "endpoint", m.ep)
+	return nil
+}
+
+// rebindManager points the grid's shared directory state at a cluster's new
+// manager incarnation: the Naming binding LRMs re-resolve through, and the
+// hierarchy links (the new node inherits the recorded topology, and each
+// neighbour's link is re-pointed at the new reference).
+func (g *Grid) rebindManager(c *Cluster, m *manager) {
+	_ = g.naming.Rebind(grmName(c.id), m.grmRef)
+
+	g.mu.Lock()
+	links := make(map[string]string, len(g.links))
+	for child, parent := range g.links {
+		links[child] = parent
+	}
+	clusters := make(map[string]*Cluster, len(g.clusters))
+	for id, cl := range g.clusters {
+		clusters[id] = cl
+	}
+	g.mu.Unlock()
+
+	if parentID, ok := links[c.id]; ok {
+		if parent := clusters[parentID]; parent != nil {
+			pm := parent.manager()
+			m.hnode.SetParent(pm.href)
+			pm.hnode.AddChild(c.id, m.href)
+		}
+	}
+	children := make([]string, 0, len(links))
+	for child, parent := range links {
+		if parent == c.id {
+			children = append(children, child)
+		}
+	}
+	sort.Strings(children)
+	for _, childID := range children {
+		if ch := clusters[childID]; ch != nil {
+			cm := ch.manager()
+			m.hnode.AddChild(childID, cm.href)
+			cm.hnode.SetParent(m.href)
+		}
+	}
+}
+
+// abortClusterRuns aborts every in-flight BSP runtime whose placement lived
+// under the named cluster's (now destroyed) manager.
+func (g *Grid) abortClusterRuns(clusterID string) {
+	prefix := clusterID + "-app-"
+	g.bspMu.Lock()
+	ids := make([]string, 0, len(g.bspRuns))
+	for appID := range g.bspRuns {
+		if strings.HasPrefix(appID, prefix) {
+			ids = append(ids, appID)
+		}
+	}
+	sort.Strings(ids)
+	victims := make([]*bsp.Runtime, 0, len(ids))
+	for _, appID := range ids {
+		if rt := g.bspRuns[appID]; rt != nil {
+			victims = append(victims, rt)
+		}
+	}
+	g.bspMu.Unlock()
+	for _, rt := range victims {
+		rt.Abort(ErrManagerLost)
+	}
+}

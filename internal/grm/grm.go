@@ -44,6 +44,9 @@ type Stats struct {
 	AppsCancelled     int
 	NodesDeclaredDead int // nodes evicted by the heartbeat-miss detector
 	TasksPresumedLost int // running tasks rescheduled or abandoned by the detector
+	ReplicaBatches    int // replication batches applied while standby
+	Promotions        int // standby → primary transitions
+	TasksReconciled   int // orphan tasks reaped via LRM reconciliation
 }
 
 // nodeLiveness is the failure detector's record of one node's heartbeats.
@@ -52,6 +55,9 @@ type nodeLiveness struct {
 	interval time.Duration // most recently observed update gap
 	updates  int
 	lrm      orb.ObjectRef
+	// status is the node's latest full NodeStatus, kept so a standby
+	// attached later can be primed with a complete snapshot.
+	status protocol.NodeStatus
 }
 
 // taskInfo is the GRM-side record of one task.
@@ -102,10 +108,14 @@ type GRM struct {
 	backboneMbps float64
 	suspectAfter time.Duration // fixed detector threshold; 0 = adaptive
 	onEviction   func(appID string)
+	replEvery    time.Duration // standby replication flush cadence
 
-	// mu guards apps, nodes, seq, stats, stopped, started and timers. It
-	// must be released before any protocol RPC (Reserve/Execute/...):
-	// negotiation blocks on remote LRMs and may itself re-enter the GRM.
+	// mu guards apps, nodes, seq, stats, stopped, started, timers, role,
+	// repl, onPromote and the repl* heartbeat fields. It must be released
+	// before any protocol RPC (Reserve/Execute/...): negotiation blocks on
+	// remote LRMs and may itself re-enter the GRM. The replication stream
+	// obeys the same rule: enqueues under mu are lock-only (g.mu → repl.mu),
+	// and the pump invokes the standby with no GRM lock held.
 	mu      sync.Mutex
 	apps    map[string]*appInfo
 	nodes   map[string]*nodeLiveness
@@ -114,6 +124,16 @@ type GRM struct {
 	stopped bool
 	started bool
 	timers  []sim.Timer
+
+	// Failover state: the role this GRM plays, the outbound replication
+	// stream (primary with a standby attached), and the standby-side
+	// heartbeat observations driving the promotion monitor.
+	role          Role
+	repl          *replicator
+	onPromote     func()
+	replLastBatch time.Time
+	replGap       time.Duration
+	replBatches   int
 }
 
 // Option configures a GRM.
@@ -161,6 +181,13 @@ func WithLogger(log *slog.Logger) Option {
 // the offer TTL — which tolerates slow update cadences without tuning.
 func WithSuspectAfter(d time.Duration) Option {
 	return func(g *GRM) { g.suspectAfter = d }
+}
+
+// WithReplicationInterval sets the standby replication flush cadence
+// (default DefaultReplicationInterval). Only meaningful on a primary with an
+// attached standby.
+func WithReplicationInterval(d time.Duration) Option {
+	return func(g *GRM) { g.replEvery = d }
 }
 
 // WithEvictionObserver registers fn, called outside GRM locks with the app
@@ -238,21 +265,45 @@ func (g *GRM) Start() {
 	arm()
 }
 
-// Stop cancels the periodic scheduler.
+// Stop cancels the periodic scheduler, the promotion monitor and the
+// replication pump.
 func (g *GRM) Stop() {
 	g.mu.Lock()
-	defer g.mu.Unlock()
 	g.stopped = true
 	g.started = false
 	for _, t := range g.timers {
 		t.Stop()
 	}
 	g.timers = nil
+	repl := g.repl
+	g.repl = nil
+	g.mu.Unlock()
+	if repl != nil {
+		repl.stop()
+	}
 }
 
 // HandleUpdate processes one Information Update Protocol message.
 func (g *GRM) HandleUpdate(s protocol.NodeStatus) {
 	now := g.clock.Now()
+	if !g.exportStatusOffer(s, now) {
+		return
+	}
+	g.mu.Lock()
+	g.stats.UpdatesReceived++
+	if age := now.Sub(s.Timestamp); age > 0 {
+		g.stats.StalenessSum += age
+	}
+	g.touchLivenessLocked(s, now)
+	if g.repl != nil {
+		g.repl.enqueueNode(s)
+	}
+	g.mu.Unlock()
+}
+
+// exportStatusOffer upserts the node's trader offer from its status,
+// reporting whether the upsert succeeded.
+func (g *GRM) exportStatusOffer(s protocol.NodeStatus, now time.Time) bool {
 	props := constraint.Properties{
 		PropNode:          constraint.String(s.NodeID),
 		PropMIPSTotal:     constraint.Number(s.Capacity.MIPS),
@@ -279,13 +330,14 @@ func (g *GRM) HandleUpdate(s protocol.NodeStatus) {
 	}
 	if _, err := g.trader.ExportKeyed(offer); err != nil {
 		g.log.Warn("offer upsert failed", "node", s.NodeID, "err", err)
-		return
+		return false
 	}
-	g.mu.Lock()
-	g.stats.UpdatesReceived++
-	if age := now.Sub(s.Timestamp); age > 0 {
-		g.stats.StalenessSum += age
-	}
+	return true
+}
+
+// touchLivenessLocked refreshes the failure detector's record of a node.
+// Caller holds g.mu.
+func (g *GRM) touchLivenessLocked(s protocol.NodeStatus, now time.Time) {
 	lv := g.nodes[s.NodeID]
 	if lv == nil {
 		lv = &nodeLiveness{}
@@ -296,7 +348,7 @@ func (g *GRM) HandleUpdate(s protocol.NodeStatus) {
 	lv.lastSeen = now
 	lv.updates++
 	lv.lrm = s.LRMRef
-	g.mu.Unlock()
+	lv.status = s
 }
 
 // KnownNodes returns the number of live node offers.
@@ -325,6 +377,7 @@ func (g *GRM) Submit(spec protocol.ApplicationSpec) (string, error) {
 	}
 	g.apps[id] = app
 	g.stats.Submissions++
+	g.replicateAppLocked(app)
 	g.mu.Unlock()
 
 	g.scheduleApp(app)
@@ -440,6 +493,7 @@ func (g *GRM) placeTask(app *appInfo, t *taskInfo, exclude map[string]bool) erro
 		t.lrm = offer.Ref
 		t.progress = t.initialProgress
 		g.stats.TasksPlaced++
+		g.replicateAppLocked(app)
 		g.mu.Unlock()
 		return nil
 	}
@@ -541,6 +595,7 @@ func (g *GRM) reserveAndExecuteGang(app *appInfo, pending []*taskInfo, ordered [
 		t.lrm = gr.ref
 		t.progress = t.initialProgress
 		g.stats.TasksPlaced++
+		g.replicateAppLocked(app)
 		g.mu.Unlock()
 	}
 	return true
@@ -581,6 +636,9 @@ func (g *GRM) detectFailures() {
 			dead = append(dead, deadNode{id: id, ref: lv.lrm})
 			delete(g.nodes, id) // a restarted node re-registers on its next update
 			g.stats.NodesDeclaredDead++
+			if g.repl != nil {
+				g.repl.enqueueNodeGone(id, lv.lrm)
+			}
 		}
 	}
 	g.mu.Unlock()
@@ -670,6 +728,7 @@ func (g *GRM) evictNodeTasks(nodeID string) {
 			t.restarts++
 			g.stats.Restarts++
 		}
+		g.replicateAppLocked(app)
 		affected = append(affected, appID)
 	}
 	observer := g.onEviction
@@ -739,6 +798,7 @@ func (g *GRM) HandleNotify(ev protocol.TaskEvent) {
 	case protocol.TaskEventProgress:
 		task.progress = ev.Progress
 	}
+	g.replicateAppLocked(app)
 	g.mu.Unlock()
 
 	if requeue {
@@ -780,6 +840,7 @@ func (g *GRM) CancelApp(appID string) error {
 		}
 	}
 	g.stats.AppsCancelled++
+	g.replicateAppLocked(app)
 	g.mu.Unlock()
 
 	for _, v := range victims {

@@ -1,0 +1,233 @@
+package grm_test
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"integrade/internal/grm"
+	"integrade/internal/orb"
+	"integrade/internal/protocol"
+	"integrade/internal/resource"
+)
+
+// attachStandby builds a standby GRM for clusterID on the harness ORB, arms
+// it with cfg and attaches it to the harness primary's replication stream.
+func attachStandby(t *testing.T, c *cluster, clusterID, ep string, cfg grm.StandbyConfig) *grm.GRM {
+	t.Helper()
+	sb := grm.New(clusterID, c.clock, c.o, grm.WithSchedulePeriod(15*time.Second))
+	a := orb.NewAdapter()
+	if err := a.Register(protocol.GRMKey, sb.Servant()); err != nil {
+		t.Fatal(err)
+	}
+	bound, err := c.o.BindLoopback(ep, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.BecomeStandby(cfg)
+	c.g.AttachStandby(orb.ObjectRef{Endpoint: bound, Key: protocol.GRMKey})
+	t.Cleanup(sb.Stop)
+	return sb
+}
+
+func sequentialSpec(name string, work float64) protocol.ApplicationSpec {
+	return protocol.ApplicationSpec{
+		Name:         name,
+		Kind:         protocol.AppSequential,
+		NumTasks:     1,
+		WorkPerTask:  work,
+		Requirements: resource.Requirements{Min: resource.Vector{MIPS: 500, RAMMB: 16}},
+		Alloc:        resource.Vector{MIPS: 1000, RAMMB: 64},
+	}
+}
+
+// TestStandbyMirrorsPrimaryState covers both replication paths: the full
+// snapshot enqueued at attach time (the pre-existing app and node offers)
+// and the periodic deltas that follow (an app submitted afterwards).
+func TestStandbyMirrorsPrimaryState(t *testing.T) {
+	c := newCluster(t, dedicated(3, 1000))
+	before := c.submit(sequentialSpec("before-attach", 600_000))
+
+	sb := attachStandby(t, c, "test", "standby", grm.StandbyConfig{})
+	c.clock.Advance(30 * time.Second)
+
+	if got := sb.KnownNodes(); got != 3 {
+		t.Fatalf("standby KnownNodes = %d, want 3", got)
+	}
+	if got := sb.Stats().ReplicaBatches; got < 2 {
+		t.Fatalf("ReplicaBatches = %d, want >= 2", got)
+	}
+	after := c.submit(sequentialSpec("after-attach", 600_000))
+	c.clock.Advance(30 * time.Second)
+
+	ids := sb.AppIDs()
+	if len(ids) != 2 {
+		t.Fatalf("standby apps = %v", ids)
+	}
+	for _, id := range []string{before, after} {
+		st, err := sb.AppStatus(id)
+		if err != nil {
+			t.Fatalf("standby AppStatus(%s): %v", id, err)
+		}
+		primary, err := c.g.AppStatus(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Tasks[0].NodeID != primary.Tasks[0].NodeID || st.Tasks[0].State != primary.Tasks[0].State {
+			t.Fatalf("replica diverges for %s: %+v vs %+v", id, st.Tasks[0], primary.Tasks[0])
+		}
+	}
+	rs := c.g.ReplicationStats()
+	if rs.BatchesSent < 2 || rs.NodesSent < 3 || rs.AppsSent < 2 {
+		t.Fatalf("ReplicationStats = %+v", rs)
+	}
+	if rs.SendFailures != 0 {
+		t.Fatalf("SendFailures = %d", rs.SendFailures)
+	}
+}
+
+// TestStandbyPromotesOnSilentPrimary stops the primary cold and expects the
+// standby's heartbeat monitor to time it out (adaptive threshold: three
+// missed batches at the observed cadence, floored at the offer TTL) and
+// promote itself, firing OnPromote.
+func TestStandbyPromotesOnSilentPrimary(t *testing.T) {
+	c := newCluster(t, dedicated(2, 1000))
+	var promoted atomic.Bool
+	sb := attachStandby(t, c, "test", "standby", grm.StandbyConfig{
+		OnPromote: func() { promoted.Store(true) },
+	})
+	c.clock.Advance(30 * time.Second)
+	if sb.Role() != grm.RoleStandby {
+		t.Fatalf("role = %v before silence", sb.Role())
+	}
+
+	c.g.Stop() // replication pump dies with the primary
+	// Silence threshold: max(3 missed batches at the 5s cadence, 90s offer
+	// TTL), so two minutes is enough to promote but not enough for the
+	// promotion-time liveness grace to expire afterwards.
+	c.clock.Advance(2 * time.Minute)
+
+	if sb.Role() != grm.RolePrimary {
+		t.Fatalf("role = %v after silence, want primary", sb.Role())
+	}
+	if !promoted.Load() {
+		t.Fatal("OnPromote never fired")
+	}
+	if got := sb.Stats().Promotions; got != 1 {
+		t.Fatalf("Promotions = %d, want 1", got)
+	}
+	// The grace reset at promotion keeps the mirrored fleet alive even
+	// though its last replica-applied heartbeats date from the primary's
+	// death.
+	if got := sb.Stats().NodesDeclaredDead; got != 0 {
+		t.Fatalf("spurious deaths at promotion: %d", got)
+	}
+	// The grace is a reprieve, not immortality: these LRMs still report to
+	// the dead primary, so against the promotion baseline they eventually
+	// time out for real.
+	c.clock.Advance(5 * time.Minute)
+	if got := sb.Stats().NodesDeclaredDead; got != 2 {
+		t.Fatalf("silent nodes not declared dead after grace: %d, want 2", got)
+	}
+}
+
+// TestStandbyWithoutStreamStaysPassive: a standby that never heard from its
+// primary (fewer than two batches) must not promote itself — the cold-rebuild
+// path handles clusters whose manager died before replication began.
+func TestStandbyWithoutStreamStaysPassive(t *testing.T) {
+	c := newCluster(t, dedicated(1, 1000))
+	sb := grm.New("test", c.clock, c.o)
+	sb.BecomeStandby(grm.StandbyConfig{})
+	t.Cleanup(sb.Stop)
+
+	c.clock.Advance(10 * time.Minute)
+	if sb.Role() != grm.RoleStandby {
+		t.Fatalf("unattached standby promoted itself: %v", sb.Role())
+	}
+	if got := sb.Stats().Promotions; got != 0 {
+		t.Fatalf("Promotions = %d, want 0", got)
+	}
+}
+
+// TestPromotedStandbyIgnoresStalePrimary promotes the standby while the old
+// primary is still alive and streaming: the deposed primary's batches keep
+// being delivered (and acknowledged) but must not touch the new primary's
+// state.
+func TestPromotedStandbyIgnoresStalePrimary(t *testing.T) {
+	c := newCluster(t, dedicated(2, 1000))
+	sb := attachStandby(t, c, "test", "standby", grm.StandbyConfig{})
+	c.clock.Advance(30 * time.Second)
+
+	sb.Promote()
+	if sb.Role() != grm.RolePrimary {
+		t.Fatalf("role = %v after Promote", sb.Role())
+	}
+	applied := sb.Stats().ReplicaBatches
+	sentBefore := c.g.ReplicationStats().BatchesSent
+
+	c.clock.Advance(time.Minute)
+	if got := c.g.ReplicationStats().BatchesSent; got <= sentBefore {
+		t.Fatalf("stale primary stopped streaming: %d <= %d", got, sentBefore)
+	}
+	if got := sb.Stats().ReplicaBatches; got != applied {
+		t.Fatalf("promoted GRM applied stale batches: %d != %d", got, applied)
+	}
+}
+
+// TestStandbyIgnoresForeignClusterBatches: replication batches carry the
+// sending cluster's ID, and a standby for a different cluster discards them.
+func TestStandbyIgnoresForeignClusterBatches(t *testing.T) {
+	c := newCluster(t, dedicated(2, 1000))
+	sb := attachStandby(t, c, "other-cluster", "standby-other", grm.StandbyConfig{})
+	c.clock.Advance(time.Minute)
+
+	if got := sb.Stats().ReplicaBatches; got != 0 {
+		t.Fatalf("foreign batches applied: %d", got)
+	}
+	if got := sb.KnownNodes(); got != 0 {
+		t.Fatalf("foreign nodes mirrored: %d", got)
+	}
+}
+
+// TestReconcileReapsOrphans drives the post-registration reconcile exchange
+// through the protocol client: claims the GRM knows as running on that node
+// survive, everything else comes back as an orphan to cancel.
+func TestReconcileReapsOrphans(t *testing.T) {
+	c := newCluster(t, dedicated(1, 1000))
+	id := c.submit(sequentialSpec("app", 600_000))
+	st := c.status(id)
+	if st.Tasks[0].State != protocol.TaskRunning {
+		t.Fatalf("task not running: %+v", st.Tasks[0])
+	}
+	client := protocol.NewGRMClient(c.o, c.grmRef)
+	orphans, err := client.Reconcile(protocol.ReconcileRequest{
+		NodeID: "node-0",
+		Claims: []protocol.TaskClaim{
+			{TaskID: st.Tasks[0].TaskID, AppID: id}, // genuinely running here
+			{TaskID: "ghost-1", AppID: id},          // unknown task
+			{TaskID: "ghost-2", AppID: "no-such"},   // unknown app
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(orphans) != 2 || orphans[0] != "ghost-1" || orphans[1] != "ghost-2" {
+		t.Fatalf("orphans = %v", orphans)
+	}
+	if got := c.g.Stats().TasksReconciled; got != 2 {
+		t.Fatalf("TasksReconciled = %d, want 2", got)
+	}
+
+	// A claim from the wrong node is an orphan too: the task runs on node-0,
+	// so node-1 claiming it must be told to cancel.
+	orphans, err = client.Reconcile(protocol.ReconcileRequest{
+		NodeID: "node-1",
+		Claims: []protocol.TaskClaim{{TaskID: st.Tasks[0].TaskID, AppID: id}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(orphans) != 1 {
+		t.Fatalf("wrong-node claim not reaped: %v", orphans)
+	}
+}

@@ -102,6 +102,25 @@ func (n *Node) AddChild(clusterID string, ref orb.ObjectRef) {
 	n.children[clusterID] = ref
 }
 
+// Parent returns the current parent reference (zero when root).
+func (n *Node) Parent() orb.ObjectRef {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.parent
+}
+
+// Children snapshots the child links (used to clone topology onto a promoted
+// standby's hierarchy node during GRM failover).
+func (n *Node) Children() map[string]orb.ObjectRef {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make(map[string]orb.ObjectRef, len(n.children))
+	for id, ref := range n.children {
+		out[id] = ref
+	}
+	return out
+}
+
 // ClusterID returns the local cluster's ID.
 func (n *Node) ClusterID() string { return n.clusterID }
 

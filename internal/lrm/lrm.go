@@ -26,15 +26,28 @@ import (
 // DefaultUpdatePeriod is the Information Update Protocol cadence.
 const DefaultUpdatePeriod = 30 * time.Second
 
+// reregisterAfter is how many consecutive update failures trigger the
+// re-registration loop: one failure may be a transient fault the next
+// periodic update absorbs; two in a row suggest the GRM itself is gone.
+const reregisterAfter = 2
+
+// DefaultReregisterBackoff paces re-registration attempts: capped
+// exponential with the orb client's deterministic per-node jitter, so a
+// cluster's worth of orphaned LRMs does not stampede the reborn GRM.
+var DefaultReregisterBackoff = orb.BackoffPolicy{Base: 5 * time.Second, Cap: time.Minute}
+
 // Stats are cumulative LRM counters for experiments.
 type Stats struct {
-	UpdatesSent     int
-	ReserveRequests int
-	ReserveGrants   int
-	ReserveRefusals int
-	TasksStarted    int
-	TasksCompleted  int
-	TasksEvicted    int
+	UpdatesSent      int
+	UpdateFailures   int
+	Reregistrations  int // successful re-registrations with a (new) GRM
+	OrphansCancelled int // tasks reaped because the GRM disowned them
+	ReserveRequests  int
+	ReserveGrants    int
+	ReserveRefusals  int
+	TasksStarted     int
+	TasksCompleted   int
+	TasksEvicted     int
 }
 
 // LRM is one node's local resource manager.
@@ -43,23 +56,30 @@ type LRM struct {
 	clock    sim.Clock
 	inv      orb.Invoker
 	selfRef  orb.ObjectRef
-	grm      *protocol.GRMClient
 	gupa     *gupa.Client // may be nil
 	analyzer *lupa.Analyzer
 	log      *slog.Logger
 
 	updatePeriod time.Duration
 	reserveTTL   time.Duration
+	resolver     func() (orb.ObjectRef, error) // re-resolves the GRM ref; may be nil
+	reregBackoff orb.BackoffPolicy
 
-	// mu guards taskApp, stats, stopped, timers and started. It must be
-	// released before GRM RPCs (Update/Notify), which block on the remote
-	// side.
+	// mu guards grm, taskApp, stats, stopped, timers, started, consecFails,
+	// rereg and reregAttempt. It must be released before GRM RPCs
+	// (Update/Notify), which block on the remote side.
 	mu      sync.Mutex
+	grm     *protocol.GRMClient
 	taskApp map[string]string // taskID -> appID
 	stats   Stats
 	stopped bool
 	timers  []sim.Timer
 	started bool
+	// Re-registration loop state: consecutive update failures observed, and
+	// whether the backoff-paced re-register loop is currently armed.
+	consecFails  int
+	rereg        bool
+	reregAttempt int
 }
 
 // Option configures an LRM.
@@ -85,6 +105,18 @@ func WithLogger(log *slog.Logger) Option {
 	return func(l *LRM) { l.log = log }
 }
 
+// WithGRMResolver installs a resolver (typically a Naming lookup) the LRM
+// uses to re-locate its GRM after repeated update failures. Without one, the
+// LRM keeps pushing to the original reference and never re-registers.
+func WithGRMResolver(fn func() (orb.ObjectRef, error)) Option {
+	return func(l *LRM) { l.resolver = fn }
+}
+
+// WithReregisterBackoff overrides the re-registration pacing policy.
+func WithReregisterBackoff(p orb.BackoffPolicy) Option {
+	return func(l *LRM) { l.reregBackoff = p }
+}
+
 // New returns an LRM managing n, reporting to the GRM at grmRef, reachable
 // at selfRef. Dedicated nodes get no LUPA, per the paper's footnote ("The
 // LUPA is not executed in dedicated nodes").
@@ -98,6 +130,7 @@ func New(n *node.Node, clock sim.Clock, inv orb.Invoker, selfRef orb.ObjectRef, 
 		log:          slog.New(slog.DiscardHandler),
 		updatePeriod: DefaultUpdatePeriod,
 		reserveTTL:   time.Minute,
+		reregBackoff: DefaultReregisterBackoff,
 		taskApp:      make(map[string]string),
 	}
 	if !n.Dedicated() {
@@ -178,19 +211,128 @@ func (l *LRM) updateTick() {
 	l.SendUpdate()
 }
 
+// grmClient returns the current GRM stub (swapped on re-registration).
+func (l *LRM) grmClient() *protocol.GRMClient {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.grm
+}
+
+// GRMRef returns the reference of the GRM the LRM currently reports to.
+func (l *LRM) GRMRef() orb.ObjectRef {
+	return l.grmClient().Ref()
+}
+
 // SendUpdate pushes one Information Update Protocol message now. Task
 // execution is synced first so the reported free capacity (and any
-// completion/eviction notifications) reflect the present.
+// completion/eviction notifications) reflect the present. Repeated failures
+// kick off the re-registration loop when a resolver is configured.
 func (l *LRM) SendUpdate() {
 	l.SyncTasks()
 	status := l.Status()
-	if err := l.grm.Update(status); err != nil {
+	if err := l.grmClient().Update(status); err != nil {
 		l.log.Debug("information update failed", "node", l.node.ID(), "err", err)
+		l.mu.Lock()
+		l.stats.UpdateFailures++
+		l.consecFails++
+		trigger := l.resolver != nil && l.consecFails >= reregisterAfter &&
+			!l.rereg && !l.stopped
+		if trigger {
+			l.rereg = true
+			l.reregAttempt = 0
+		}
+		l.mu.Unlock()
+		if trigger {
+			l.log.Info("GRM unreachable, entering re-registration",
+				"node", l.node.ID(), "failures", reregisterAfter)
+			l.armReregister()
+		}
 		return
 	}
 	l.mu.Lock()
+	l.consecFails = 0
 	l.stats.UpdatesSent++
 	l.mu.Unlock()
+}
+
+// armReregister schedules the next re-registration attempt under the capped
+// exponential backoff with deterministic per-node jitter.
+func (l *LRM) armReregister() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.stopped || !l.rereg {
+		return
+	}
+	l.reregAttempt++
+	delay := l.reregBackoff.Delay(l.node.ID(), "reregister", l.reregAttempt)
+	t := l.clock.AfterFunc(delay, l.reregisterTick)
+	l.timers = append(l.timers, t)
+}
+
+// reregisterTick is one re-registration attempt: re-resolve the GRM
+// reference, push a status update to it, and on success adopt the new GRM
+// and reconcile running tasks. Failures re-arm with increased backoff.
+func (l *LRM) reregisterTick() {
+	l.mu.Lock()
+	if l.stopped || !l.rereg {
+		l.mu.Unlock()
+		return
+	}
+	resolver := l.resolver
+	l.mu.Unlock()
+
+	ref, err := resolver()
+	if err != nil {
+		l.log.Debug("GRM re-resolution failed", "node", l.node.ID(), "err", err)
+		l.armReregister()
+		return
+	}
+	client := protocol.NewGRMClient(l.inv, ref)
+	if err := client.Update(l.Status()); err != nil {
+		l.log.Debug("re-registration update failed", "node", l.node.ID(), "err", err)
+		l.armReregister()
+		return
+	}
+	l.mu.Lock()
+	l.grm = client
+	l.rereg = false
+	l.consecFails = 0
+	l.stats.Reregistrations++
+	l.stats.UpdatesSent++
+	l.mu.Unlock()
+	l.log.Info("re-registered with GRM", "node", l.node.ID(), "grm", ref.Endpoint.Addr)
+	l.reconcile(client)
+}
+
+// reconcile reports the node's running tasks to the GRM it just registered
+// with and cancels the ones the GRM disowns — the orphaned placements of a
+// dead manager, whose committed capacity would otherwise stay leaked until
+// their (effectively unbounded) work completed.
+func (l *LRM) reconcile(client *protocol.GRMClient) {
+	req := protocol.ReconcileRequest{NodeID: l.node.ID()}
+	l.mu.Lock()
+	for _, snap := range l.node.RunningSnapshots() {
+		req.Claims = append(req.Claims, protocol.TaskClaim{
+			TaskID: snap.ID,
+			AppID:  l.taskApp[snap.ID],
+		})
+	}
+	l.mu.Unlock()
+	if len(req.Claims) == 0 {
+		return
+	}
+	orphans, err := client.Reconcile(req)
+	if err != nil {
+		l.log.Debug("task reconciliation failed", "node", l.node.ID(), "err", err)
+		return
+	}
+	for _, taskID := range orphans {
+		l.handleCancel(taskID)
+		l.mu.Lock()
+		l.stats.OrphansCancelled++
+		l.mu.Unlock()
+		l.log.Debug("cancelled orphan task", "node", l.node.ID(), "task", taskID)
+	}
 }
 
 // Status builds the node's current NodeStatus.
@@ -275,7 +417,7 @@ func (l *LRM) SyncTasks() {
 			Progress: snap.Progress,
 			At:       now,
 		}
-		if err := l.grm.Notify(ev); err != nil {
+		if err := l.grmClient().Notify(ev); err != nil {
 			l.log.Debug("progress notification failed", "task", snap.ID, "err", err)
 		}
 	}
@@ -303,7 +445,7 @@ func (l *LRM) notify(kind protocol.TaskEventKind, t *node.Task, now time.Time) {
 		Progress: t.Progress(),
 		At:       now,
 	}
-	if err := l.grm.Notify(ev); err != nil {
+	if err := l.grmClient().Notify(ev); err != nil {
 		l.log.Debug("task notification failed", "task", t.ID, "err", err)
 	}
 }

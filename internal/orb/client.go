@@ -119,12 +119,15 @@ func (c *Client) Invoke(ref ObjectRef, op string, arg []byte) ([]byte, error) {
 	addr := ref.Endpoint.Addr
 	var lastErr error
 	for attempt := 0; attempt <= c.maxRetries; attempt++ {
+		// The breaker check comes before any backoff sleep: a tripped
+		// circuit fails the whole invocation fast, consuming neither a
+		// retry-budget slot nor a backoff delay — that budget belongs to
+		// attempts that actually reach the wire.
+		if c.breakers != nil && !c.breakers.allow(addr) {
+			return nil, Errorf(CodeTransport, "circuit open for %s", addr)
+		}
 		if attempt > 0 {
 			c.sleep(c.backoff.Delay(addr, op, attempt))
-		}
-		if c.breakers != nil && !c.breakers.allow(addr) {
-			lastErr = Errorf(CodeTransport, "circuit open for %s", addr)
-			continue
 		}
 		reply, err := c.attempt(ref, op, arg)
 		if c.breakers != nil {

@@ -266,6 +266,134 @@ func TestClientBreakerFailsFastAndRecovers(t *testing.T) {
 	}
 }
 
+// TestBreakerOpenPreservesRetryBudget covers the breaker/backoff interaction
+// fix: a tripped circuit must fail the invocation immediately — no backoff
+// sleep, no burned retry slot, no delivery attempt.
+func TestBreakerOpenPreservesRetryBudget(t *testing.T) {
+	var slept atomic.Int64
+	o := New(WithClientOptions(
+		WithRetries(3),
+		WithBackoff(BackoffPolicy{Base: time.Millisecond, Cap: 4 * time.Millisecond}),
+		WithBreaker(BreakerPolicy{Threshold: 2, Cooldown: time.Minute}),
+	))
+	o.client.sleep = func(time.Duration) { slept.Add(1) }
+	defer o.Close()
+
+	a := NewAdapter()
+	if err := a.Register("calc", echoServant()); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := o.ListenTCP("127.0.0.1:0", a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ref := srv.Ref("calc")
+
+	drop := &flakyInterceptor{}
+	drop.remaining.Store(1 << 30)
+	o.SetInterceptor(drop)
+
+	// One invocation: two real attempts trip the threshold-2 breaker, and the
+	// third loop iteration must bail out at the circuit — not sleep first.
+	if _, err := o.Invoke(ref, "echo", encodeString("x")); !IsCode(err, CodeTransport) {
+		t.Fatalf("tripping call: %v", err)
+	}
+	if got := drop.attempts.Load(); got != 2 {
+		t.Fatalf("delivery attempts before trip = %d, want 2", got)
+	}
+	if got := slept.Load(); got != 1 {
+		t.Fatalf("backoff sleeps before trip = %d, want 1 (between the two real attempts)", got)
+	}
+	if got := o.client.BreakerState(ref.Endpoint.Addr); got != "open" {
+		t.Fatalf("breaker state = %s, want open", got)
+	}
+
+	// With the circuit open, the full retry budget is preserved: zero
+	// attempts, zero sleeps, immediate failure.
+	attempts, sleeps := drop.attempts.Load(), slept.Load()
+	if _, err := o.Invoke(ref, "echo", encodeString("x")); !IsCode(err, CodeTransport) {
+		t.Fatalf("open-circuit call: %v", err)
+	}
+	if got := drop.attempts.Load(); got != attempts {
+		t.Fatalf("open circuit made %d delivery attempts", got-attempts)
+	}
+	if got := slept.Load(); got != sleeps {
+		t.Fatalf("open circuit slept %d times; fail-fast must not back off", got-sleeps)
+	}
+}
+
+// TestClientBreakerHalfOpenUnderDelays drives the half-open transition while
+// the probe call is artificially delayed (the shape chaos delay faults
+// produce): exactly one probe is admitted after the cooldown, concurrent
+// calls keep failing fast while it is in flight, and its success closes the
+// circuit.
+func TestClientBreakerHalfOpenUnderDelays(t *testing.T) {
+	o := New(WithClientOptions(
+		WithCallTimeout(2*time.Second),
+		WithBreaker(BreakerPolicy{Threshold: 1, Cooldown: 30 * time.Millisecond}),
+	))
+	defer o.Close()
+
+	a := NewAdapter()
+	if err := a.Register("calc", echoServant()); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := o.ListenTCP("127.0.0.1:0", a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ref := srv.Ref("calc")
+	addr := ref.Endpoint.Addr
+
+	var failing atomic.Bool
+	failing.Store(true)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	o.SetInterceptor(interceptorFunc(func(_ Endpoint, _, _ string, _ []byte, next func() ([]byte, error)) ([]byte, error) {
+		if failing.Load() {
+			return nil, Errorf(CodeTransport, "injected loss")
+		}
+		entered <- struct{}{} // announce the probe, then stall it
+		<-release
+		return next()
+	}))
+
+	if _, err := o.Invoke(ref, "echo", encodeString("x")); !IsCode(err, CodeTransport) {
+		t.Fatalf("tripping call: %v", err)
+	}
+	if got := o.client.BreakerState(addr); got != "open" {
+		t.Fatalf("breaker state = %s, want open", got)
+	}
+
+	// Heal the network and let the cooldown pass; the next call is the probe.
+	failing.Store(false)
+	time.Sleep(40 * time.Millisecond)
+	probeDone := make(chan error, 1)
+	go func() {
+		_, err := o.Invoke(ref, "echo", encodeString("probe"))
+		probeDone <- err
+	}()
+	<-entered // probe is in flight, delayed inside the interceptor
+
+	if got := o.client.BreakerState(addr); got != "half-open" {
+		t.Fatalf("breaker state during probe = %s, want half-open", got)
+	}
+	// A concurrent call must fail fast, not queue a second probe.
+	if _, err := o.Invoke(ref, "echo", encodeString("x")); !IsCode(err, CodeTransport) {
+		t.Fatalf("concurrent call during half-open: %v", err)
+	}
+
+	close(release)
+	if err := <-probeDone; err != nil {
+		t.Fatalf("probe: %v", err)
+	}
+	if got := o.client.BreakerState(addr); got != "closed" {
+		t.Fatalf("breaker state after probe success = %s, want closed", got)
+	}
+}
+
 // TestClientHungPeerDeadlines covers the satellite fix: a peer that accepts
 // the connection but never replies must not wedge Invoke or poison the pool.
 func TestClientHungPeerDeadlines(t *testing.T) {

@@ -74,6 +74,24 @@ func (c *GRMClient) ListApps() ([]string, error) {
 	return ids, nil
 }
 
+// Reconcile reports the node's running tasks after (re-)registration and
+// returns the task IDs the GRM does not recognize — the orphans the LRM
+// should cancel locally.
+func (c *GRMClient) Reconcile(req ReconcileRequest) ([]string, error) {
+	var e orb.Encoder
+	req.Encode(&e)
+	reply, err := c.inv.Invoke(c.ref, OpReconcile, e.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	d := orb.NewDecoder(reply)
+	orphans := d.Strings()
+	if err := d.Err(); err != nil {
+		return nil, orb.Errorf(orb.CodeMarshal, "reconcile reply: %v", err)
+	}
+	return orphans, nil
+}
+
 // AppStatus fetches an application's status.
 func (c *GRMClient) AppStatus(appID string) (AppStatus, error) {
 	var e orb.Encoder

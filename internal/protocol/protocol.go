@@ -10,6 +10,7 @@
 package protocol
 
 import (
+	"fmt"
 	"time"
 
 	"integrade/internal/orb"
@@ -32,6 +33,8 @@ const (
 	OpCancelApp = "cancelApp" // ASCT aborts an application
 	OpListApps  = "listApps"  // ASCT enumerates applications
 	OpPeerInfo  = "peerInfo"  // hierarchy: cluster summary exchange
+	OpReplicate = "replicate" // primary GRM streams state to its standby
+	OpReconcile = "reconcile" // LRM syncs its running tasks after re-registering
 
 	// LRM operations.
 	OpReserve   = "reserve"
@@ -236,6 +239,51 @@ func DecodeTaskEvent(d *orb.Decoder) (TaskEvent, error) {
 		At:       d.Time(),
 	}
 	return ev, d.Err()
+}
+
+// TaskClaim is one entry of an LRM's reconcile report: a task the node is
+// currently running, with the application it believes owns it.
+type TaskClaim struct {
+	TaskID string
+	AppID  string
+}
+
+// ReconcileRequest is the LRM → GRM exchange that follows re-registration
+// with a (possibly new) GRM: the node reports every task it is running, and
+// the GRM answers with the task IDs it does not recognize, which the LRM
+// then cancels locally. After a warm failover the replicated state covers
+// all claims and nothing is cancelled; after a cold rebuild the placeholder
+// tasks of the dead manager's placements are reaped so their capacity frees
+// up for re-placement.
+type ReconcileRequest struct {
+	NodeID string
+	Claims []TaskClaim
+}
+
+// Encode writes the request.
+func (r ReconcileRequest) Encode(e *orb.Encoder) {
+	e.PutString(r.NodeID)
+	e.PutU32(uint32(len(r.Claims)))
+	for _, c := range r.Claims {
+		e.PutString(c.TaskID)
+		e.PutString(c.AppID)
+	}
+}
+
+// DecodeReconcileRequest reads a ReconcileRequest.
+func DecodeReconcileRequest(d *orb.Decoder) (ReconcileRequest, error) {
+	r := ReconcileRequest{NodeID: d.String()}
+	n := d.U32()
+	if err := d.Err(); err != nil {
+		return ReconcileRequest{}, err
+	}
+	if n > orb.MaxSliceLen {
+		return ReconcileRequest{}, fmt.Errorf("protocol: reconcile with %d claims", n)
+	}
+	for i := uint32(0); i < n; i++ {
+		r.Claims = append(r.Claims, TaskClaim{TaskID: d.String(), AppID: d.String()})
+	}
+	return r, d.Err()
 }
 
 // EncodeVector writes a resource vector.

@@ -186,6 +186,33 @@ func (s *Service) Count(serviceType string) int {
 	return len(s.byType[serviceType])
 }
 
+// All returns every live offer of the given type ("" for all types) in
+// export-sequence order — a deterministic snapshot for failover checks and
+// observability, bypassing constraint evaluation.
+func (s *Service) All(serviceType string) []Offer {
+	s.pruneExpired()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Offer
+	if serviceType != "" {
+		for _, o := range s.byType[serviceType] {
+			out = append(out, cloneOffer(o))
+		}
+		return out
+	}
+	types := make([]string, 0, len(s.byType))
+	for t := range s.byType {
+		types = append(types, t)
+	}
+	sort.Strings(types)
+	for _, t := range types {
+		for _, o := range s.byType[t] {
+			out = append(out, cloneOffer(o))
+		}
+	}
+	return out
+}
+
 // Select evaluates a query, returning matching offers best-first.
 //
 // Offers whose constraint evaluation errors (for example, a missing
