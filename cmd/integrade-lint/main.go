@@ -1,7 +1,8 @@
 // Command integrade-lint is the repo's multichecker: it runs InteGrade's
 // custom go/analysis-style analyzers — the per-package checks (simclock,
 // lockheld, orberr, nakedgo) and the interprocedural call-graph stage
-// (rpccycle, maporder, lockheld-transitive) — plus the stock `go vet`
+// (rpccycle, maporder, lockheld-transitive, wiredrift, lockorder) — plus the
+// stock `go vet`
 // passes over the given package patterns and exits non-zero on any finding.
 //
 // Usage:
@@ -14,7 +15,11 @@
 //	//lint:allow <analyzer> <reason>
 //
 // With -json each finding is printed as one JSON object per line, followed
-// by a summary object; the human-readable format stays the default.
+// by a summary object; the human-readable format stays the default. JSON
+// output is byte-stable across runs and machines: file paths are relative to
+// the working directory (with forward slashes) and findings are fully
+// ordered by (file, line, column, analyzer, message), so CI can diff two
+// runs textually.
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"strings"
 
 	"integrade/internal/lint"
@@ -92,7 +98,7 @@ func main() {
 		for _, d := range diags {
 			enc.Encode(jsonFinding{
 				Analyzer: d.Analyzer,
-				File:     d.Pos.Filename,
+				File:     relativePath(d.Pos.Filename),
 				Line:     d.Pos.Line,
 				Column:   d.Pos.Column,
 				Message:  d.Message,
@@ -118,6 +124,22 @@ func main() {
 	}
 
 	os.Exit(exitCode)
+}
+
+// relativePath rewrites an absolute diagnostic path relative to the working
+// directory, with forward slashes, so -json output does not leak the
+// checkout location and is identical across machines. Paths outside the
+// working tree (or already relative) are returned unchanged.
+func relativePath(file string) string {
+	wd, err := os.Getwd()
+	if err != nil || !filepath.IsAbs(file) {
+		return file
+	}
+	rel, err := filepath.Rel(wd, file)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return file
+	}
+	return filepath.ToSlash(rel)
 }
 
 // selectAnalyzers resolves the -analyzers flag: empty means all, "interproc"

@@ -173,6 +173,9 @@ type world struct {
 
 	// mu guards arrived, leavers, gen, aborted, abortErr, superstep and
 	// stats; cond (which wraps mu) signals barrier generation changes.
+	// leave() folds final run stats into the runtime under both locks, so
+	// w.mu nests outside the runtime's statsMu.
+	//lint:lockorder bsp.world.mu<bsp.Runtime.statsMu
 	mu        sync.Mutex
 	cond      *sync.Cond
 	arrived   int
@@ -269,6 +272,10 @@ func (w *world) barrier(p *Proc) error {
 			return ErrAborted
 		}
 		// Last arrival: perform the superstep exchange.
+		// exchangeLocked releases w.mu around the checkpoint callbacks and
+		// re-acquires it before returning; the flow-insensitive summary sees
+		// only the re-acquisition, so this is not a recursive lock.
+		//lint:allow lockorder exchangeLocked drops w.mu before re-locking it
 		if err := w.exchangeLocked(); err != nil {
 			w.aborted = true
 			w.abortErr = err

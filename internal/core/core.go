@@ -50,7 +50,20 @@ type Grid struct {
 	// GRM dies (the self-healing path).
 	naming    *naming.Service
 	namingRef orb.ObjectRef
-	// mu guards clusters, order, links, stopped and chaos.
+	// mu guards clusters, order, links, stopped and chaos. CreateCluster
+	// builds and registers the whole manager stack while holding it, so g.mu
+	// nests outside the per-cluster locks and every subsystem lock that
+	// manager construction touches: servant registration (orb.OpMux,
+	// orb.Adapter, orb.Loopback), GRM startup, the name directory and the
+	// hierarchy node. Stop and teardown deliberately run outside g.mu.
+	//lint:lockorder core.Grid.mu<core.Cluster.mgmtMu
+	//lint:lockorder core.Grid.mu<core.Cluster.mu
+	//lint:lockorder core.Grid.mu<grm.GRM.mu
+	//lint:lockorder core.Grid.mu<hierarchy.Node.mu
+	//lint:lockorder core.Grid.mu<naming.Service.mu
+	//lint:lockorder core.Grid.mu<orb.Adapter.mu
+	//lint:lockorder core.Grid.mu<orb.Loopback.mu
+	//lint:lockorder core.Grid.mu<orb.OpMux.mu
 	mu       sync.Mutex
 	clusters map[string]*Cluster
 	order    []string
@@ -140,15 +153,24 @@ func (g *Grid) Advance(d time.Duration) error {
 // Now returns the current grid time.
 func (g *Grid) Now() time.Time { return g.clock.Now() }
 
-// Stop shuts down every cluster's background loops.
+// Stop shuts down every cluster's background loops. The teardown itself
+// runs outside g.mu: cluster stop and ORB close both wait on other locks
+// (and the ORB close on in-flight work), so holding the grid lock across
+// them would pin every accessor for the whole teardown. A second concurrent
+// Stop returns as soon as the first has claimed the teardown.
 func (g *Grid) Stop() {
 	g.mu.Lock()
-	defer g.mu.Unlock()
 	if g.stopped {
+		g.mu.Unlock()
 		return
 	}
 	g.stopped = true
-	for _, c := range g.clusters {
+	clusters := make([]*Cluster, 0, len(g.clusters))
+	for _, id := range g.order {
+		clusters = append(clusters, g.clusters[id])
+	}
+	g.mu.Unlock()
+	for _, c := range clusters {
 		c.stop()
 	}
 	g.orb.Close()
@@ -286,7 +308,11 @@ type Cluster struct {
 	standby *manager
 	gen     int
 
-	// mu guards nodes, lrms and seq.
+	// mu guards nodes, lrms and seq. stop() halts the LRMs and FailNode
+	// crashes a node (which releases its ledger reservations) under it, so
+	// c.mu nests outside the LRM, node and ledger locks.
+	//lint:lockorder core.Cluster.mu<lrm.LRM.mu
+	//lint:lockorder core.Cluster.mu<node.Node.mu
 	mu    sync.Mutex
 	nodes []*node.Node
 	lrms  []*lrm.LRM
@@ -564,19 +590,28 @@ func (c *Cluster) LRMs() []*lrm.LRM {
 // notifications flow to the GRM on the node's next LRM sync.
 func (c *Cluster) FailNode(nodeID string, outage time.Duration) error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	var mgr *lrm.LRM
+	var evicted []*node.Task
+	found := false
 	for i, n := range c.nodes {
 		if n.ID() == nodeID {
-			evicted := n.Fail(c.grid.clock.Now(), outage)
-			// Fail drains the evicted tasks itself, so the LRM's periodic
-			// sync will not see them; report them to the GRM directly.
-			for _, t := range evicted {
-				c.lrms[i].NotifyEvicted(t)
-			}
-			return nil
+			evicted = n.Fail(c.grid.clock.Now(), outage)
+			mgr = c.lrms[i]
+			found = true
+			break
 		}
 	}
-	return fmt.Errorf("core: unknown node %q", nodeID)
+	c.mu.Unlock()
+	if !found {
+		return fmt.Errorf("core: unknown node %q", nodeID)
+	}
+	// Fail drains the evicted tasks itself, so the LRM's periodic sync will
+	// not see them; report them to the GRM directly. The notification is a
+	// remote invocation, so it must run outside c.mu.
+	for _, t := range evicted {
+		mgr.NotifyEvicted(t)
+	}
+	return nil
 }
 
 // FailRandomNodes crashes k distinct running nodes for the outage duration.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync"
 	"testing"
 	"time"
 
@@ -269,5 +270,39 @@ func TestSubmitToCluster(t *testing.T) {
 	}
 	if _, err := h.WaitSimulated(time.Hour, time.Minute); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestStopConcurrentWithAccessors locks down the Grid.Stop restructuring:
+// teardown (cluster stop, ORB close) runs outside g.mu, so grid accessors
+// and a second Stop may proceed while the first tears the clusters down.
+// Before the change this test could only pass by waiting for the full
+// teardown under the grid lock; now it exercises the concurrent path under
+// the race detector.
+func TestStopConcurrentWithAccessors(t *testing.T) {
+	g := NewGrid(WithSeed(11))
+	if _, err := g.AddCluster("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddCluster("b"); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				g.Clusters()
+				g.Cluster("a")
+			}
+		}()
+	}
+	wg.Add(2)
+	go func() { defer wg.Done(); g.Stop() }()
+	go func() { defer wg.Done(); g.Stop() }()
+	wg.Wait()
+	if got := g.Clusters(); len(got) != 2 {
+		t.Fatalf("Clusters after Stop = %v", got)
 	}
 }

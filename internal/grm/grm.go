@@ -116,6 +116,7 @@ type GRM struct {
 	// remote LRMs and may itself re-enter the GRM. The replication stream
 	// obeys the same rule: enqueues under mu are lock-only (g.mu → repl.mu),
 	// and the pump invokes the standby with no GRM lock held.
+	//lint:lockorder grm.GRM.mu<grm.replicator.mu
 	mu      sync.Mutex
 	apps    map[string]*appInfo
 	nodes   map[string]*nodeLiveness

@@ -101,29 +101,60 @@ type CallGraph struct {
 	fset *token.FileSet
 	// Nodes in deterministic (source position) order.
 	Nodes []*FuncNode
+	// Invokes are the constant-operation Invoke call sites in source order.
+	Invokes []InvokeSite
 	// byObj maps declared functions to their nodes.
 	byObj map[*types.Func]*FuncNode
+	// byName maps types.Func.FullName() to nodes. The loader type-checks
+	// each target package from source but resolves its imports through
+	// compiler export data, so a cross-package callee is a *different*
+	// types.Func object than the one recorded at its definition; the full
+	// name is the identity that survives that split.
+	byName map[string]*FuncNode
 	// handlers maps RPC operation names to registered handler nodes.
 	handlers map[string][]*FuncNode
+	// litByVar maps local variables bound to function literals to the
+	// literal's node, resolving `f := func(...){...}; ...; f(x)` helpers.
+	litByVar map[*types.Var]*FuncNode
 
 	summariesDone bool
 }
 
-// NodeOf returns the node for a declared function, or nil.
-func (g *CallGraph) NodeOf(fn *types.Func) *FuncNode { return g.byObj[fn] }
+// NodeOf returns the node for a declared function, or nil. The fallback by
+// full name resolves cross-package references, where the caller's view of
+// the callee (from export data) is a distinct object from the definition.
+func (g *CallGraph) NodeOf(fn *types.Func) *FuncNode {
+	if n := g.byObj[fn]; n != nil {
+		return n
+	}
+	return g.byName[fn.FullName()]
+}
 
-// invokeSite is a pending RPC edge source found during the build.
-type invokeSite struct {
-	from *FuncNode
-	pos  token.Pos
-	op   string
+// NodeOfVar returns the function-literal node bound to a local variable
+// (`f := func(...) {...}`), or nil. The binding is flow-insensitive: the last
+// literal assigned to the variable anywhere wins, which is exact for the
+// write-once helper-closure idiom this resolves.
+func (g *CallGraph) NodeOfVar(v *types.Var) *FuncNode { return g.litByVar[v] }
+
+// Handlers returns the handler nodes registered for an RPC operation name.
+func (g *CallGraph) Handlers(op string) []*FuncNode { return g.handlers[op] }
+
+// InvokeSite is one `Invoke(ref, <const op>, arg)` call site: the source end
+// of an RPC edge, with its full call expression so analyzers can inspect the
+// argument and result flow (wiredrift's request/reply extraction).
+type InvokeSite struct {
+	From *FuncNode
+	Call *ast.CallExpr
+	Op   string
 }
 
 // BuildCallGraph constructs the approximate call graph over pkgs.
 func BuildCallGraph(pkgs []*Package) *CallGraph {
 	g := &CallGraph{
 		byObj:    map[*types.Func]*FuncNode{},
+		byName:   map[string]*FuncNode{},
 		handlers: map[string][]*FuncNode{},
+		litByVar: map[*types.Var]*FuncNode{},
 	}
 	if len(pkgs) > 0 {
 		g.fset = pkgs[0].Fset
@@ -155,6 +186,7 @@ func BuildCallGraph(pkgs []*Package) *CallGraph {
 					name: funcDisplayName(obj),
 				}
 				g.byObj[obj] = node
+				g.byName[obj.FullName()] = node
 				g.Nodes = append(g.Nodes, node)
 				work = append(work, declWork{pkg: pkg, decl: fd, node: node})
 			}
@@ -162,28 +194,34 @@ func BuildCallGraph(pkgs []*Package) *CallGraph {
 	}
 
 	// Pass 2: walk bodies, creating literal nodes and collecting edges,
-	// blocking ops, Handle registrations and Invoke sites.
-	b := &graphBuilder{graph: g}
+	// blocking ops, Handle registrations, Invoke sites and closure-variable
+	// bindings.
+	b := &graphBuilder{graph: g, litNodes: map[*ast.FuncLit]*FuncNode{}}
 	for _, w := range work {
 		if w.decl.Body != nil {
 			b.walkBody(w.node, w.decl.Body)
 		}
 	}
 
-	// Pass 3: resolve handler registrations (the literal nodes they refer
-	// to now all exist), then RPC edges.
+	// Pass 3: resolve handler registrations and closure-variable bindings
+	// (the literal nodes they refer to now all exist), then RPC edges.
 	for _, reg := range b.handlerRegs {
 		if h := b.handlerNode(reg.parent, reg.arg); h != nil {
 			g.handlers[reg.op] = append(g.handlers[reg.op], h)
 		}
 	}
-	for _, site := range b.invokes {
-		for _, h := range g.handlers[site.op] {
-			site.from.Edges = append(site.from.Edges, Edge{
+	for _, lv := range b.litVars {
+		if n := b.litNodes[lv.lit]; n != nil {
+			g.litByVar[lv.v] = n
+		}
+	}
+	for _, site := range g.Invokes {
+		for _, h := range g.handlers[site.Op] {
+			site.From.Edges = append(site.From.Edges, Edge{
 				To:   h,
-				Pos:  site.pos,
+				Pos:  site.Call.Pos(),
 				Kind: EdgeRPC,
-				Op:   site.op,
+				Op:   site.Op,
 			})
 		}
 	}
@@ -193,8 +231,16 @@ func BuildCallGraph(pkgs []*Package) *CallGraph {
 // graphBuilder carries the per-build state of the AST walk.
 type graphBuilder struct {
 	graph       *CallGraph
-	invokes     []invokeSite
 	handlerRegs []handlerReg
+	litNodes    map[*ast.FuncLit]*FuncNode
+	litVars     []litVarBinding
+}
+
+// litVarBinding is a pending `v := func(...){...}` association awaiting the
+// literal's node.
+type litVarBinding struct {
+	v   *types.Var
+	lit *ast.FuncLit
 }
 
 // handlerReg is one OpMux.Handle registration awaiting resolution.
@@ -222,11 +268,16 @@ func (b *graphBuilder) walkBody(node *FuncNode, body *ast.BlockStmt) {
 				name: fmt.Sprintf("%s·func%d", node.name, litSeq),
 			}
 			b.graph.Nodes = append(b.graph.Nodes, child)
+			b.litNodes[s] = child
 			b.walkBody(child, s.Body)
 			if !asyncLit(node.Pkg, s, body) {
 				node.Edges = append(node.Edges, Edge{To: child, Pos: s.Pos(), Kind: EdgeClosure})
 			}
 			return false
+		case *ast.AssignStmt:
+			b.recordLitVars(info, s.Lhs, s.Rhs)
+		case *ast.ValueSpec:
+			b.recordLitVars(info, identExprs(s.Names), s.Values)
 		case *ast.SelectStmt:
 			// A select with a default never blocks; without one it does.
 			if !selectHasDefault(s) {
@@ -283,40 +334,68 @@ func (b *graphBuilder) recordCall(node *FuncNode, call *ast.CallExpr) {
 		node.blocking = append(node.blocking, blockingOp{pos: call.Pos(), desc: desc, rpc: rpc})
 		if rpc {
 			if op, ok := invokeOp(info, call); ok {
-				b.invokes = append(b.invokes, invokeSite{from: node, pos: call.Pos(), op: op})
+				b.graph.Invokes = append(b.graph.Invokes, InvokeSite{From: node, Call: call, Op: op})
 			}
 		}
 	}
 
-	// Static edge to a resolved repo function.
-	if target := b.graph.byObj[fn]; target != nil {
+	// Static edge to a resolved repo function (NodeOf, not byObj: the
+	// callee object differs from the definition on cross-package calls).
+	if target := b.graph.NodeOf(fn); target != nil {
 		node.Edges = append(node.Edges, Edge{To: target, Pos: call.Pos(), Kind: EdgeStatic})
 	}
 }
 
+// recordLitVars collects `v := func(...){...}` (and `var v = func...`)
+// bindings for later resolution into litByVar.
+func (b *graphBuilder) recordLitVars(info *types.Info, lhs, rhs []ast.Expr) {
+	if len(lhs) != len(rhs) {
+		return
+	}
+	for i, r := range rhs {
+		lit, ok := ast.Unparen(r).(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		id, ok := ast.Unparen(lhs[i]).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if v, ok := obj.(*types.Var); ok {
+			b.litVars = append(b.litVars, litVarBinding{v: v, lit: lit})
+		}
+	}
+}
+
+// identExprs widens a ValueSpec's name list to []ast.Expr.
+func identExprs(ids []*ast.Ident) []ast.Expr {
+	out := make([]ast.Expr, len(ids))
+	for i, id := range ids {
+		out[i] = id
+	}
+	return out
+}
+
 // handlerNode resolves the handler argument of a Handle call: a literal
-// (already turned into a node by the surrounding walk — it is re-resolved
-// lazily through position), a named function, or a handler-factory call
-// whose returned closure we approximate by the factory itself.
+// (already turned into a node by the surrounding walk), a named function, or
+// a handler-factory call whose returned closure we approximate by the
+// factory itself.
 func (b *graphBuilder) handlerNode(parent *FuncNode, arg ast.Expr) *FuncNode {
 	switch a := ast.Unparen(arg).(type) {
 	case *ast.FuncLit:
-		// The literal's node was (or will be) created by walkBody of the
-		// same body; find it by its syntax.
-		for _, n := range b.graph.Nodes {
-			if n.Lit == a {
-				return n
-			}
-		}
-		return nil
+		return b.litNodes[a]
 	case *ast.Ident, *ast.SelectorExpr:
 		if fn := calleeFunc(parent.Pkg.TypesInfo, &ast.CallExpr{Fun: a}); fn != nil {
-			return b.graph.byObj[fn]
+			return b.graph.NodeOf(fn)
 		}
 		return nil
 	case *ast.CallExpr:
 		if fn := calleeFunc(parent.Pkg.TypesInfo, a); fn != nil {
-			return b.graph.byObj[fn]
+			return b.graph.NodeOf(fn)
 		}
 		return nil
 	}
@@ -324,8 +403,11 @@ func (b *graphBuilder) handlerNode(parent *FuncNode, arg ast.Expr) *FuncNode {
 }
 
 // asyncLit reports whether lit only runs asynchronously with respect to the
-// enclosing function: spawned via `go lit(...)` or passed to an
-// AfterFunc-style scheduler. Such literals never block their definer.
+// enclosing function: spawned via `go lit(...)`, passed to an AfterFunc-style
+// scheduler, or registered as an RPC handler via OpMux.Handle. Such literals
+// never block their definer — a Handle-registered handler runs later, on the
+// server dispatch path, and is reached through EdgeRPC from the matching
+// Invoke sites instead.
 func asyncLit(pkg *Package, lit *ast.FuncLit, body *ast.BlockStmt) bool {
 	async := false
 	ast.Inspect(body, func(n ast.Node) bool {
@@ -347,7 +429,13 @@ func asyncLit(pkg *Package, lit *ast.FuncLit, body *ast.BlockStmt) bool {
 			case *ast.SelectorExpr:
 				name = fun.Sel.Name
 			}
-			if name == "AfterFunc" {
+			deferred := name == "AfterFunc"
+			if name == "Handle" && !deferred {
+				if fn := calleeFunc(pkg.TypesInfo, s); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == orbPkgPath {
+					deferred = true
+				}
+			}
+			if deferred {
 				for _, a := range s.Args {
 					if ast.Unparen(a) == ast.Expr(lit) {
 						async = true

@@ -103,9 +103,9 @@ func (d Diagnostic) String() string {
 
 // All returns the full set of InteGrade analyzers: the per-package checks
 // of PR 1 plus the interprocedural stage (rpccycle, maporder,
-// lockheld-transitive).
+// lockheld-transitive, wiredrift, lockorder).
 func All() []*Analyzer {
-	return []*Analyzer{SimClock, LockHeld, OrbErr, NakedGo, RPCCycle, MapOrder, LockHeldTransitive}
+	return []*Analyzer{SimClock, LockHeld, OrbErr, NakedGo, RPCCycle, MapOrder, LockHeldTransitive, WireDrift, LockOrder}
 }
 
 // Interprocedural returns only the call-graph-based analyzers.
@@ -182,7 +182,13 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		if a.Column != b.Column {
 			return a.Column < b.Column
 		}
-		return diags[i].Analyzer < diags[j].Analyzer
+		if diags[i].Analyzer != diags[j].Analyzer {
+			return diags[i].Analyzer < diags[j].Analyzer
+		}
+		// Several analyzers can report distinct findings at one position
+		// (e.g. wiredrift against multiple handlers): the message tie-break
+		// keeps the output byte-stable run to run.
+		return diags[i].Message < diags[j].Message
 	})
 	return diags, nil
 }

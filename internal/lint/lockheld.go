@@ -70,11 +70,25 @@ type lockScanner struct {
 	// onCall receives every call expression reached while held is
 	// non-empty.
 	onCall func(call *ast.CallExpr, held lockState)
+	// canon, when set, maps a mutex receiver expression to its canonical
+	// repo-wide name (e.g. "grm.GRM.mu"); recorded on each acquisition for
+	// the lockorder analyzer.
+	canon func(recv ast.Expr) string
+	// onAcquire, when set, receives every Lock/RLock, with the state held at
+	// that moment (not yet including the new lock).
+	onAcquire func(recv ast.Expr, op string, acq lockAcq, held lockState)
+}
+
+// lockAcq is one recorded mutex acquisition.
+type lockAcq struct {
+	pos token.Pos
+	// canon is the canonical lock name, "" when the scanner has no resolver.
+	canon string
 }
 
 // lockState maps the printed receiver expression of a held mutex (e.g.
-// "c.mu") to the position where it was acquired.
-type lockState map[string]token.Pos
+// "c.mu") to its acquisition record.
+type lockState map[string]lockAcq
 
 func (s lockState) clone() lockState {
 	c := make(lockState, len(s))
@@ -92,10 +106,17 @@ func (sc *lockScanner) scan(stmts []ast.Stmt, held lockState) {
 	for _, stmt := range stmts {
 		switch s := stmt.(type) {
 		case *ast.ExprStmt:
-			if recv, op, ok := mutexOp(sc.info, s.X); ok {
+			if recvExpr, recv, op, ok := mutexOp(sc.info, s.X); ok {
 				switch op {
 				case "Lock", "RLock":
-					held[recv] = s.Pos()
+					acq := lockAcq{pos: s.Pos()}
+					if sc.canon != nil {
+						acq.canon = sc.canon(recvExpr)
+					}
+					if sc.onAcquire != nil {
+						sc.onAcquire(recvExpr, op, acq, held)
+					}
+					held[recv] = acq
 				case "Unlock", "RUnlock":
 					delete(held, recv)
 				}
@@ -220,26 +241,27 @@ func (sc *lockScanner) checkExpr(expr ast.Expr, held lockState) {
 }
 
 // mutexOp recognizes expr as a Lock/Unlock/RLock/RUnlock call on a
-// sync.Mutex or sync.RWMutex and returns the printed receiver.
-func mutexOp(info *types.Info, expr ast.Expr) (recv, op string, ok bool) {
+// sync.Mutex or sync.RWMutex and returns the receiver expression and its
+// printed form.
+func mutexOp(info *types.Info, expr ast.Expr) (recvExpr ast.Expr, recv, op string, ok bool) {
 	call, isCall := ast.Unparen(expr).(*ast.CallExpr)
 	if !isCall {
-		return "", "", false
+		return nil, "", "", false
 	}
 	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	if !isSel {
-		return "", "", false
+		return nil, "", "", false
 	}
 	switch sel.Sel.Name {
 	case "Lock", "Unlock", "RLock", "RUnlock":
 	default:
-		return "", "", false
+		return nil, "", "", false
 	}
 	fn, isFn := info.Uses[sel.Sel].(*types.Func)
 	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
-		return "", "", false
+		return nil, "", "", false
 	}
-	return types.ExprString(sel.X), sel.Sel.Name, true
+	return sel.X, types.ExprString(sel.X), sel.Sel.Name, true
 }
 
 func selectHasDefault(s *ast.SelectStmt) bool {

@@ -1,0 +1,458 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder infers the global lock-acquisition-order graph and checks it
+// against the declared hierarchy.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc: "Deadlock by lock-order inversion needs two mutexes and two code " +
+		"paths that nest them in opposite orders — a property no single " +
+		"function shows. This analyzer names every sync.Mutex/RWMutex " +
+		"canonically (pkg.Type.field for struct fields, pkg.var for package " +
+		"globals), replays the lockheld scan over every function to observe " +
+		"each acquisition made while another lock is held — transitively " +
+		"through helper calls, using per-function acquires summaries computed " +
+		"by fixpoint over the call graph — and builds the global " +
+		"acquisition-order graph. Cycles in that graph are reported as " +
+		"potential deadlocks, acquiring a lock while already holding it is " +
+		"reported as self-deadlock, and every observed edge must be covered " +
+		"by a declared hierarchy annotation: //lint:lockorder A<B (chains " +
+		"A<B<C declare consecutive pairs; declarations are global and " +
+		"transitive). Diagnostics carry the call chain from the holding " +
+		"function to the acquisition.",
+	RunRepo: runLockOrder,
+}
+
+// lockWitness records how a function comes to acquire a lock: directly
+// (via == nil) at pos, or through a call at pos into via.
+type lockWitness struct {
+	pos token.Pos
+	via *FuncNode
+}
+
+// lockEdgeSite is one observed "to acquired while from held" fact.
+type lockEdgeSite struct {
+	from, to string
+	pos      token.Pos
+	chain    []string
+}
+
+func runLockOrder(pass *RepoPass) error {
+	decl := collectLockDecls(pass)
+	reportDeclCycles(pass, decl)
+	declReach := transitiveClosure(decl)
+
+	edges := observeLockEdges(pass)
+
+	for _, e := range edges {
+		via := ""
+		if len(e.chain) > 0 {
+			via = " (via " + strings.Join(e.chain, " -> ") + ")"
+		}
+		switch {
+		case e.from == e.to:
+			pass.Reportf(e.pos, "lock %s acquired while already held%s", e.to, via)
+		case declReach[e.to][e.from]:
+			pass.Reportf(e.pos,
+				"lock order inversion: %s acquired while holding %s, but the declared order is %s < %s%s",
+				e.to, e.from, e.to, e.from, via)
+		case !declReach[e.from][e.to]:
+			pass.Reportf(e.pos,
+				"undocumented lock-order edge %s -> %s%s; declare //lint:lockorder %s<%s or fix the ordering",
+				e.from, e.to, via, e.from, e.to)
+		}
+	}
+
+	reportObservedCycles(pass, edges)
+	return nil
+}
+
+// observeLockEdges scans every function: direct nested acquisitions produce
+// edges immediately; calls made under a lock produce edges to every lock the
+// callee transitively acquires, with the call chain to the acquisition.
+func observeLockEdges(pass *RepoPass) []lockEdgeSite {
+	g := pass.Graph
+
+	// Pass A: per-node direct acquisitions, direct nested edges, and call
+	// sites reached under a lock.
+	type callSite struct {
+		node *FuncNode
+		call *ast.CallExpr
+		held []lockAcq
+	}
+	direct := map[*FuncNode][]lockAcq{}
+	var calls []callSite
+	var edges []lockEdgeSite
+	for _, node := range g.Nodes {
+		if node.Body == nil {
+			continue
+		}
+		node := node
+		sc := &lockScanner{
+			info:       node.Pkg.TypesInfo,
+			canon:      func(recv ast.Expr) string { return lockCanon(node, recv) },
+			onBlocking: func(token.Pos, string, lockState) {},
+			onCall: func(call *ast.CallExpr, held lockState) {
+				calls = append(calls, callSite{node: node, call: call, held: heldAcqs(held)})
+			},
+			onAcquire: func(recv ast.Expr, op string, acq lockAcq, held lockState) {
+				direct[node] = append(direct[node], acq)
+				for _, h := range heldAcqs(held) {
+					edges = append(edges, lockEdgeSite{from: h.canon, to: acq.canon, pos: acq.pos})
+				}
+			},
+		}
+		sc.scan(node.Body.List, lockState{})
+	}
+
+	// Pass B: fixpoint acquires summaries over static and closure edges (an
+	// RPC edge runs on the remote component's own goroutine, not under the
+	// caller's locks).
+	acquires := map[*FuncNode]map[string]lockWitness{}
+	for _, node := range g.Nodes {
+		for _, a := range direct[node] {
+			if acquires[node] == nil {
+				acquires[node] = map[string]lockWitness{}
+			}
+			if _, ok := acquires[node][a.canon]; !ok {
+				acquires[node][a.canon] = lockWitness{pos: a.pos}
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.Nodes {
+			for _, e := range n.Edges {
+				if e.Kind == EdgeRPC {
+					continue
+				}
+				for _, lock := range sortedLockNames(acquires[e.To]) {
+					if _, ok := acquires[n][lock]; ok {
+						continue
+					}
+					if acquires[n] == nil {
+						acquires[n] = map[string]lockWitness{}
+					}
+					acquires[n][lock] = lockWitness{pos: e.Pos, via: e.To}
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Pass C: resolve the recorded call sites against the summaries.
+	for _, cs := range calls {
+		fn := calleeFunc(cs.node.Pkg.TypesInfo, cs.call)
+		if fn == nil {
+			continue
+		}
+		target := g.NodeOf(fn)
+		if target == nil {
+			continue
+		}
+		for _, lock := range sortedLockNames(acquires[target]) {
+			chain := acqChain(acquires, target, lock)
+			for _, h := range cs.held {
+				edges = append(edges, lockEdgeSite{
+					from:  h.canon,
+					to:    lock,
+					pos:   cs.call.Pos(),
+					chain: chain,
+				})
+			}
+		}
+	}
+	return edges
+}
+
+// heldAcqs returns the canonically named held locks, sorted for determinism.
+func heldAcqs(held lockState) []lockAcq {
+	out := make([]lockAcq, 0, len(held))
+	for _, a := range held {
+		if a.canon != "" {
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].canon < out[j].canon })
+	return out
+}
+
+func sortedLockNames(m map[string]lockWitness) []string {
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// acqChain renders the call chain from start to where lock is acquired, by
+// following the fixpoint witnesses. Witness links always point at an entry
+// established earlier, so the walk terminates.
+func acqChain(acquires map[*FuncNode]map[string]lockWitness, start *FuncNode, lock string) []string {
+	var chain []string
+	for cur := start; cur != nil; {
+		chain = append(chain, cur.Name())
+		cur = acquires[cur][lock].via
+	}
+	return chain
+}
+
+// lockCanon names a mutex receiver expression repo-widely: a struct field
+// becomes pkg.Type.field, a package-level variable pkg.var, and a local
+// variable is scoped to its function (it cannot participate in a hierarchy
+// beyond that function's calls).
+func lockCanon(node *FuncNode, recv ast.Expr) string {
+	info := node.Pkg.TypesInfo
+	switch x := ast.Unparen(recv).(type) {
+	case *ast.SelectorExpr:
+		if named := namedType(info.TypeOf(x.X)); named != nil && named.Obj().Pkg() != nil {
+			return named.Obj().Pkg().Name() + "." + named.Obj().Name() + "." + x.Sel.Name
+		}
+		if id, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+			if pn, ok := info.Uses[id].(*types.PkgName); ok {
+				return pn.Imported().Name() + "." + x.Sel.Name
+			}
+		}
+		return types.ExprString(recv)
+	case *ast.Ident:
+		obj := info.Uses[x]
+		if obj == nil {
+			obj = info.Defs[x]
+		}
+		if v, ok := obj.(*types.Var); ok {
+			if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				return v.Pkg().Name() + "." + x.Name
+			}
+			return node.Name() + "." + x.Name
+		}
+		return types.ExprString(recv)
+	}
+	return types.ExprString(recv)
+}
+
+// lockDecl is one declared A<B pair.
+type lockDecl struct {
+	before, after string
+	pos           token.Pos
+}
+
+// collectLockDecls parses every //lint:lockorder directive in the loaded
+// set. The payload is a chain LockA<LockB[<LockC...]; whitespace around '<'
+// is allowed, and a chain declares its consecutive pairs. Malformed
+// directives are reported.
+func collectLockDecls(pass *RepoPass) []lockDecl {
+	var decls []lockDecl
+	for _, pkg := range pass.Pkgs {
+		for _, f := range pkg.Syntax {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					if !strings.HasPrefix(text, "lint:lockorder") {
+						continue
+					}
+					payload := strings.Join(strings.Fields(strings.TrimPrefix(text, "lint:lockorder")), "")
+					parts := strings.Split(payload, "<")
+					ok := len(parts) >= 2
+					for _, p := range parts {
+						if p == "" {
+							ok = false
+						}
+					}
+					if !ok {
+						pass.Reportf(c.Pos(),
+							"malformed //lint:lockorder declaration %q; expected LockA<LockB[<LockC...]", payload)
+						continue
+					}
+					for i := 0; i+1 < len(parts); i++ {
+						decls = append(decls, lockDecl{before: parts[i], after: parts[i+1], pos: c.Pos()})
+					}
+				}
+			}
+		}
+	}
+	return decls
+}
+
+// transitiveClosure computes reachability over the declared pairs: declaring
+// A<B and B<C covers the observed edge A -> C.
+func transitiveClosure(decls []lockDecl) map[string]map[string]bool {
+	reach := map[string]map[string]bool{}
+	nodes := map[string]bool{}
+	add := func(a, b string) {
+		if reach[a] == nil {
+			reach[a] = map[string]bool{}
+		}
+		reach[a][b] = true
+		nodes[a], nodes[b] = true, true
+	}
+	for _, d := range decls {
+		add(d.before, d.after)
+	}
+	keys := make([]string, 0, len(nodes))
+	for k := range nodes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, i := range keys {
+			if !reach[i][k] {
+				continue
+			}
+			for j := range reach[k] {
+				add(i, j)
+			}
+		}
+	}
+	return reach
+}
+
+// reportDeclCycles flags contradictory declarations: the declared relation
+// must be a partial order, so any cycle among the declared pairs is an
+// authoring error.
+func reportDeclCycles(pass *RepoPass, decls []lockDecl) {
+	reach := transitiveClosure(decls)
+	seen := map[string]bool{}
+	for _, d := range decls {
+		if reach[d.after][d.before] && !seen[d.before+"<"+d.after] {
+			seen[d.before+"<"+d.after] = true
+			seen[d.after+"<"+d.before] = true
+			pass.Reportf(d.pos,
+				"contradictory lock-order declarations: %s<%s completes a declaration cycle", d.before, d.after)
+		}
+	}
+}
+
+// reportObservedCycles finds strongly connected components in the observed
+// acquisition-order graph (self-edges are reported individually above) and
+// reports each once, at the earliest contributing site, with a
+// representative cycle path.
+func reportObservedCycles(pass *RepoPass, edges []lockEdgeSite) {
+	adj := map[string]map[string]bool{}
+	for _, e := range edges {
+		if e.from == e.to {
+			continue
+		}
+		if adj[e.from] == nil {
+			adj[e.from] = map[string]bool{}
+		}
+		adj[e.from][e.to] = true
+	}
+	var nodes []string
+	seen := map[string]bool{}
+	for _, e := range edges {
+		for _, n := range []string{e.from, e.to} {
+			if !seen[n] {
+				seen[n] = true
+				nodes = append(nodes, n)
+			}
+		}
+	}
+	sort.Strings(nodes)
+
+	// Tarjan over the string graph.
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	next := 0
+	var comps [][]string
+	var strongconnect func(n string)
+	strongconnect = func(n string) {
+		index[n] = next
+		low[n] = next
+		next++
+		stack = append(stack, n)
+		onStack[n] = true
+		for _, m := range sortedKeys(adj[n]) {
+			if _, ok := index[m]; !ok {
+				strongconnect(m)
+				if low[m] < low[n] {
+					low[n] = low[m]
+				}
+			} else if onStack[m] && index[m] < low[n] {
+				low[n] = index[m]
+			}
+		}
+		if low[n] == index[n] {
+			var comp []string
+			for {
+				m := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[m] = false
+				comp = append(comp, m)
+				if m == n {
+					break
+				}
+			}
+			if len(comp) > 1 {
+				comps = append(comps, comp)
+			}
+		}
+	}
+	for _, n := range nodes {
+		if _, ok := index[n]; !ok {
+			strongconnect(n)
+		}
+	}
+
+	for _, comp := range comps {
+		sort.Strings(comp)
+		inComp := map[string]bool{}
+		for _, n := range comp {
+			inComp[n] = true
+		}
+		// Representative path: from the smallest member, greedily follow the
+		// smallest in-component successor until the start repeats.
+		path := []string{comp[0]}
+		visited := map[string]bool{comp[0]: true}
+		cur := comp[0]
+		for {
+			nextHop := ""
+			for _, m := range sortedKeys(adj[cur]) {
+				if inComp[m] {
+					nextHop = m
+					break
+				}
+			}
+			if nextHop == "" || nextHop == comp[0] || visited[nextHop] {
+				if nextHop != "" {
+					path = append(path, nextHop)
+				}
+				break
+			}
+			visited[nextHop] = true
+			path = append(path, nextHop)
+			cur = nextHop
+		}
+		if path[len(path)-1] != comp[0] {
+			path = append(path, comp[0])
+		}
+		// Earliest site among the component's internal edges.
+		pos := token.Pos(0)
+		for _, e := range edges {
+			if inComp[e.from] && inComp[e.to] {
+				if pos == 0 || e.pos < pos {
+					pos = e.pos
+				}
+			}
+		}
+		pass.Reportf(pos, "lock-order cycle (potential deadlock): %s", strings.Join(path, " -> "))
+	}
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"integrade/internal/lint"
+	"integrade/internal/lint/linttest"
+)
+
+func TestLockOrder(t *testing.T) {
+	linttest.Run(t, lint.LockOrder, "testdata/src/lockorder")
+}

@@ -58,3 +58,48 @@ func TestChaosHoldsNoLockAcrossCallouts(t *testing.T) {
 		t.Errorf("%s", d)
 	}
 }
+
+// TestProtocolContractsHold is the negative sweep for the contract
+// analyzers of the interprocedural stage: every Invoke site must agree with
+// its handlers on the wire schema (wiredrift), every observed lock nesting
+// must follow the declared //lint:lockorder hierarchy (lockorder), and no
+// blocking call may run under a lock (lockheld-transitive — this is the
+// regression gate for Grid.Stop and Cluster.FailNode, which were
+// restructured to move teardown and eviction RPCs outside their locks). A
+// failure here means a protocol or concurrency contract regressed — fix the
+// code or add a justified declaration/suppression, never loosen the test.
+func TestProtocolContractsHold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	pkgs, err := lint.Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	// The declared lock hierarchy lives in these packages; if any drops out
+	// of the analyzed set the sweep would pass vacuously.
+	for _, want := range []string{
+		"integrade/internal/grm",
+		"integrade/internal/bsp",
+		"integrade/internal/core",
+		"integrade/internal/orb",
+		"integrade/internal/protocol",
+	} {
+		found := false
+		for _, p := range pkgs {
+			if p.PkgPath == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("%s is not in the analyzed package set", want)
+		}
+	}
+	diags, err := lint.Run(pkgs, []*lint.Analyzer{lint.WireDrift, lint.LockOrder, lint.LockHeldTransitive})
+	if err != nil {
+		t.Fatalf("running contract analyzers: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

@@ -179,3 +179,31 @@ func ReflectBad(v reflect.Value) []string {
 	sort.Strings(keys)
 	return keys
 }
+
+// MarshalIndexBad serializes a map through a per-entry marshal helper: the
+// helper carries the encoder, but entry order still leaks into the wire
+// bytes.
+func MarshalIndexBad(e *orb.Encoder, m map[string]uint32) {
+	e.PutU32(uint32(len(m)))
+	for k, v := range m { // want `map iteration order feeds wire encoding \(putEntry\)`
+		putEntry(e, k, v)
+	}
+}
+
+func putEntry(e *orb.Encoder, k string, v uint32) {
+	e.PutString(k)
+	e.PutU32(v)
+}
+
+// MarshalIndex sorts the keys first, so the same helper sees a stable order.
+func MarshalIndex(e *orb.Encoder, m map[string]uint32) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	e.PutU32(uint32(len(m)))
+	for _, k := range keys {
+		putEntry(e, k, m[k])
+	}
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"integrade/internal/lint"
+	"integrade/internal/lint/linttest"
+)
+
+func TestWireDrift(t *testing.T) {
+	linttest.Run(t, lint.WireDrift, "testdata/src/wiredrift")
+}

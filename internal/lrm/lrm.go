@@ -67,7 +67,10 @@ type LRM struct {
 
 	// mu guards grm, taskApp, stats, stopped, timers, started, consecFails,
 	// rereg and reregAttempt. It must be released before GRM RPCs
-	// (Update/Notify), which block on the remote side.
+	// (Update/Notify), which block on the remote side. Snapshot collection
+	// reads the node's running set under it, so l.mu nests outside the
+	// node's lock.
+	//lint:lockorder lrm.LRM.mu<node.Node.mu
 	mu      sync.Mutex
 	grm     *protocol.GRMClient
 	taskApp map[string]string // taskID -> appID

@@ -91,6 +91,9 @@ type Node struct {
 	ledger *resource.Ledger
 
 	// mu guards tasks, lastSync, downUntil and the accounting fields below.
+	// Eviction and task completion release ledger reservations while holding
+	// it, so n.mu nests outside the resource ledger's lock.
+	//lint:lockorder node.Node.mu<resource.Ledger.mu
 	mu        sync.Mutex
 	tasks     map[string]*Task
 	lastSync  time.Time

@@ -33,7 +33,10 @@ type Client struct {
 	breakers    *breakerSet
 	sleep       func(time.Duration) // pacing hook, replaceable in tests
 
-	// mu guards conns and interceptor.
+	// mu guards conns and interceptor. conn() probes an existing
+	// connection's liveness (clientConn.mu) before reusing it, so c.mu
+	// nests outside the per-connection lock.
+	//lint:lockorder orb.Client.mu<orb.clientConn.mu
 	mu          sync.Mutex
 	conns       map[string]*clientConn
 	interceptor Interceptor
