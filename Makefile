@@ -6,7 +6,7 @@ FUZZ_SMOKE_TIME ?= 30s
 # Seeds the chaos target sweeps; each runs the fault-injection suite once.
 CHAOS_SEEDS ?= 1 7 42
 
-.PHONY: all build test race vet lint interproc-lint fuzz-smoke fmt-check chaos failover bench-orb bench-orb-check ci
+.PHONY: all build test race vet lint lint-fast interproc-lint fuzz-smoke fmt-check chaos failover bench-orb bench-orb-check ci
 
 all: build
 
@@ -40,9 +40,14 @@ lint:
 		echo "govulncheck not installed; skipping (CI runs it pinned)"; \
 	fi
 
+# Just the cheap per-package analyzers (simclock, lockheld, orberr,
+# nakedgo) — no whole-module type-check, no call graph — for pre-commit use.
+lint-fast:
+	$(GO) run ./cmd/integrade-lint -novet -stage package ./...
+
 # Just the call-graph analyzers (rpccycle, maporder, lockheld-transitive,
-# wiredrift, lockorder), machine-readable: one JSON finding per line plus a
-# summary line.
+# wiredrift, lockorder, hotpath, cowstore), machine-readable: one JSON
+# finding per line plus a summary line.
 interproc-lint:
 	$(GO) run ./cmd/integrade-lint -novet -analyzers interproc -json ./...
 

@@ -1,9 +1,11 @@
 // Command integrade-lint is the repo's multichecker: it runs InteGrade's
 // custom go/analysis-style analyzers — the per-package checks (simclock,
 // lockheld, orberr, nakedgo) and the interprocedural call-graph stage
-// (rpccycle, maporder, lockheld-transitive, wiredrift, lockorder) — plus the
-// stock `go vet`
-// passes over the given package patterns and exits non-zero on any finding.
+// (rpccycle, maporder, lockheld-transitive, wiredrift, lockorder, hotpath,
+// cowstore) — plus the stock `go vet` passes over the given package patterns
+// and exits non-zero on any finding. -stage runs one stage alone (the cheap
+// per-package checks, or the call-graph checks); a per-analyzer finding
+// count summary goes to stderr, keeping stdout byte-stable.
 //
 // Usage:
 //
@@ -56,6 +58,7 @@ func main() {
 		list     = flag.Bool("list", false, "list the custom analyzers and exit")
 		jsonOut  = flag.Bool("json", false, "print one JSON finding per line plus a summary line")
 		selected = flag.String("analyzers", "", "comma-separated analyzer names to run (default: all); 'interproc' selects the call-graph analyzers")
+		stage    = flag.String("stage", "all", "which stage to run: 'package' (cheap per-package analyzers), 'interproc' (call-graph analyzers), or 'all'")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: integrade-lint [flags] [packages]\n\n")
@@ -71,6 +74,11 @@ func main() {
 	}
 
 	analyzers, err := selectAnalyzers(*selected)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	analyzers, err = filterStage(analyzers, *stage)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -113,6 +121,7 @@ func main() {
 	if len(diags) > 0 {
 		exitCode = 1
 	}
+	printSummary(analyzers, diags, len(pkgs))
 
 	if !*novet {
 		vet := exec.Command("go", append([]string{"vet"}, patterns...)...)
@@ -124,6 +133,45 @@ func main() {
 	}
 
 	os.Exit(exitCode)
+}
+
+// printSummary writes the per-analyzer finding counts to stderr. Stdout
+// stays byte-stable (findings only), so CI can diff two runs textually
+// while a human still sees what ran and what it found.
+func printSummary(analyzers []*lint.Analyzer, diags []lint.Diagnostic, npkgs int) {
+	counts := map[string]int{}
+	for _, d := range diags {
+		counts[d.Analyzer]++
+	}
+	parts := make([]string, 0, len(analyzers))
+	for _, a := range analyzers {
+		parts = append(parts, fmt.Sprintf("%s=%d", a.Name, counts[a.Name]))
+	}
+	fmt.Fprintf(os.Stderr, "integrade-lint: %d finding(s) over %d package(s): %s\n",
+		len(diags), npkgs, strings.Join(parts, " "))
+}
+
+// filterStage narrows the selected analyzers to one stage: 'package' keeps
+// the cheap per-package checks, 'interproc' keeps the whole-repo call-graph
+// checks, 'all' keeps everything.
+func filterStage(analyzers []*lint.Analyzer, stage string) ([]*lint.Analyzer, error) {
+	switch stage {
+	case "all":
+		return analyzers, nil
+	case "package", "interproc":
+		var out []*lint.Analyzer
+		for _, a := range analyzers {
+			if (a.RunRepo != nil) == (stage == "interproc") {
+				out = append(out, a)
+			}
+		}
+		if len(out) == 0 {
+			return nil, fmt.Errorf("integrade-lint: -stage %s selects no analyzers", stage)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("integrade-lint: unknown -stage %q (want package, interproc or all)", stage)
+	}
 }
 
 // relativePath rewrites an absolute diagnostic path relative to the working

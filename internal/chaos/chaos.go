@@ -101,6 +101,8 @@ type Engine struct {
 	// mu guards rng, nextFaultID, faults, isolated, nodes and stats. It is
 	// only ever held to make decisions and snapshot state — never across a
 	// delivery, a hook, or any other call that could block.
+	//
+	//lint:guards rng,nextFaultID,faults,isolated,nodes,stats
 	mu          sync.Mutex
 	rng         *sim.RNG
 	nextFaultID int

@@ -90,6 +90,8 @@ type Store struct {
 	now func() time.Time
 
 	// mu guards snaps and saves.
+	//
+	//lint:guards snaps,saves
 	mu    sync.Mutex
 	snaps map[string]Snapshot
 	saves int

@@ -77,7 +77,7 @@ func (c *Cache) Compile(src string) (*Expr, error) {
 		ent := el.Value.(*cacheEntry)
 		return ent.expr, ent.err
 	}
-	c.entries[src] = c.order.PushFront(&cacheEntry{src: src, expr: expr, err: err})
+	c.entries[src] = c.order.PushFront(&cacheEntry{src: src, expr: expr, err: err}) //lint:alloc cache-miss insert
 	if c.order.Len() > c.cap {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)

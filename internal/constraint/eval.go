@@ -89,10 +89,10 @@ var ErrMissingProperty = errors.New("missing property")
 func (e *Expr) Eval(ctx Context) (bool, error) {
 	v, err := e.root.eval(ctx)
 	if err != nil {
-		return false, &EvalError{Expr: e.src, Msg: err.Error()}
+		return false, &EvalError{Expr: e.src, Msg: err.Error()} //lint:alloc error slow path
 	}
 	if v.kind != kindBool {
-		return false, &EvalError{Expr: e.src, Msg: "expression is not boolean"}
+		return false, &EvalError{Expr: e.src, Msg: "expression is not boolean"} //lint:alloc error slow path
 	}
 	return v.truth, nil
 }
@@ -102,10 +102,10 @@ func (e *Expr) Eval(ctx Context) (bool, error) {
 func (e *Expr) EvalNumber(ctx Context) (float64, error) {
 	v, err := e.root.eval(ctx)
 	if err != nil {
-		return 0, &EvalError{Expr: e.src, Msg: err.Error()}
+		return 0, &EvalError{Expr: e.src, Msg: err.Error()} //lint:alloc error slow path
 	}
 	if v.kind != kindNumber {
-		return 0, &EvalError{Expr: e.src, Msg: "expression is not numeric"}
+		return 0, &EvalError{Expr: e.src, Msg: "expression is not numeric"} //lint:alloc error slow path
 	}
 	return v.num, nil
 }

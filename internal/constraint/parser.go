@@ -33,6 +33,8 @@ type Expr struct {
 func (e *Expr) Source() string { return e.src }
 
 // Compile parses src into an Expr.
+//
+//lint:coldpath full compile runs only on a cache miss
 func Compile(src string) (*Expr, error) {
 	toks, err := lex(src)
 	if err != nil {

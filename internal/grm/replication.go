@@ -200,6 +200,8 @@ type replicator struct {
 	every  time.Duration
 
 	// mu guards the pending maps, seq, stats, stopped and timers.
+	//
+	//lint:guards nodes,nodesGone,apps,seq,stats,stopped,timers
 	mu        sync.Mutex
 	nodes     map[string]protocol.NodeStatus
 	nodesGone map[string]orb.ObjectRef

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"integrade/internal/lint"
+	"integrade/internal/lint/linttest"
+)
+
+func TestCowStore(t *testing.T) {
+	linttest.Run(t, lint.CowStore, "testdata/src/cowstore")
+}

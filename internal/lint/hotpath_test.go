@@ -1,0 +1,45 @@
+package lint_test
+
+import (
+	"testing"
+
+	"integrade/internal/lint"
+	"integrade/internal/lint/linttest"
+)
+
+func TestHotPath(t *testing.T) {
+	linttest.Run(t, lint.HotPath, "testdata/src/hotpath")
+}
+
+// TestHotpathRootsFixture pins root discovery on the fixture: every
+// well-formed annotation must surface as a root, and the malformed one must
+// not.
+func TestHotpathRootsFixture(t *testing.T) {
+	pkgs, err := lint.Load("", "./testdata/src/hotpath")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	roots := lint.HotpathRoots(pkgs)
+	want := map[string]bool{
+		"hotpath.allocFest":       false,
+		"hotpath.(*counter).bump": false,
+		"hotpath.await":           false,
+		"hotpath.chained":         false,
+		"hotpath.suppressed":      false,
+		"hotpath.truncated":       false,
+		"hotpath.withinBudget":    false,
+	}
+	for _, r := range roots {
+		if _, ok := want[r]; ok {
+			want[r] = true
+		}
+		if r == "hotpath.badBudget" {
+			t.Errorf("malformed annotation on badBudget must not produce a root")
+		}
+	}
+	for name, found := range want {
+		if !found {
+			t.Errorf("annotated root %s not discovered (roots: %v)", name, roots)
+		}
+	}
+}

@@ -105,7 +105,7 @@ func (d Diagnostic) String() string {
 // of PR 1 plus the interprocedural stage (rpccycle, maporder,
 // lockheld-transitive, wiredrift, lockorder).
 func All() []*Analyzer {
-	return []*Analyzer{SimClock, LockHeld, OrbErr, NakedGo, RPCCycle, MapOrder, LockHeldTransitive, WireDrift, LockOrder}
+	return []*Analyzer{SimClock, LockHeld, OrbErr, NakedGo, RPCCycle, MapOrder, LockHeldTransitive, WireDrift, LockOrder, HotPath, CowStore}
 }
 
 // Interprocedural returns only the call-graph-based analyzers.

@@ -70,6 +70,10 @@ type lockScanner struct {
 	// onCall receives every call expression reached while held is
 	// non-empty.
 	onCall func(call *ast.CallExpr, held lockState)
+	// onEveryCall, when set, receives every call expression regardless of
+	// lock state (cowstore uses it to know what is held at an atomic
+	// Store). Callbacks must not retain held: the scanner mutates it.
+	onEveryCall func(call *ast.CallExpr, held lockState)
 	// canon, when set, maps a mutex receiver expression to its canonical
 	// repo-wide name (e.g. "grm.GRM.mu"); recorded on each acquisition for
 	// the lockorder analyzer.
@@ -222,7 +226,7 @@ func (sc *lockScanner) checkStmt(stmt ast.Stmt, held lockState) {
 // into function literals: a closure defined under the lock does not run
 // under it.
 func (sc *lockScanner) checkExpr(expr ast.Expr, held lockState) {
-	if expr == nil || len(held) == 0 {
+	if expr == nil || (len(held) == 0 && sc.onEveryCall == nil) {
 		return
 	}
 	ast.Inspect(expr, func(n ast.Node) bool {
@@ -230,11 +234,16 @@ func (sc *lockScanner) checkExpr(expr ast.Expr, held lockState) {
 		case *ast.FuncLit:
 			return false
 		case *ast.UnaryExpr:
-			if e.Op == token.ARROW {
+			if e.Op == token.ARROW && len(held) > 0 {
 				sc.onBlocking(e.Pos(), "channel receive", held)
 			}
 		case *ast.CallExpr:
-			sc.onCall(e, held)
+			if len(held) > 0 {
+				sc.onCall(e, held)
+			}
+			if sc.onEveryCall != nil {
+				sc.onEveryCall(e, held)
+			}
 		}
 		return true
 	})

@@ -103,3 +103,43 @@ func TestProtocolContractsHold(t *testing.T) {
 		t.Errorf("%s", d)
 	}
 }
+
+// TestPerformanceContractsHold is the negative sweep for the
+// performance-contract analyzers: every //lint:hotpath budget must hold
+// over everything reachable from its root, and every atomic.Pointer
+// registry must follow the copy-on-write discipline (cowstore). It also
+// asserts that the headline hot functions really are in the annotated root
+// set — a typo in an annotation must not silently drop a contract.
+func TestPerformanceContractsHold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	pkgs, err := lint.Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	roots := lint.HotpathRoots(pkgs)
+	rootSet := map[string]bool{}
+	for _, r := range roots {
+		rootSet[r] = true
+	}
+	for _, want := range []string{
+		"orb.(*Loopback).Invoke",
+		"orb.(*OpMux).Dispatch",
+		"trading.(*Service).Select",
+		"orb.(*clientConn).sendLoop",
+		"orb.(*Encoder).PutString",
+		"orb.(*Decoder).String",
+	} {
+		if !rootSet[want] {
+			t.Errorf("%s is not in the hotpath root set (roots: %v)", want, roots)
+		}
+	}
+	diags, err := lint.Run(pkgs, []*lint.Analyzer{lint.HotPath, lint.CowStore})
+	if err != nil {
+		t.Fatalf("running performance analyzers: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,102 @@
+// Fixture for the hotpath analyzer: a zero-budget root tripping every
+// may-allocate class, a lock-budget and a block-budget violation, a
+// violation reached through a helper (chain trace), a //lint:alloc
+// suppressed site, a //lint:coldpath boundary, roots whose budgets are met
+// (silent), and a malformed annotation.
+package hotpath
+
+import (
+	"fmt"
+	"sync"
+)
+
+type point struct {
+	x, y int
+}
+
+var sink []int
+
+// allocFest trips the zero allocation budget once per class; every site is
+// reported.
+//
+//lint:hotpath alloc=0
+func allocFest(s string, m map[string]int) {
+	p := &point{x: 1}              // want `alloc budget exceeded .* composite literal`
+	q := new(point)                // want `alloc budget exceeded .* new`
+	buf := make([]byte, 8)         // want `alloc budget exceeded .* make`
+	sink = append(sink, p.x)       // want `alloc budget exceeded .* append growth`
+	bs := []byte(s)                // want `alloc budget exceeded .* string/\[\]byte conversion`
+	i := any(q.y)                  // want `alloc budget exceeded .* interface boxing`
+	_ = fmt.Sprint(i)              // want `alloc budget exceeded .* fmt/errors call`
+	m[s] = len(buf)                // want `alloc budget exceeded .* map write`
+	f := func() int { return p.y } // want `alloc budget exceeded .* closure`
+	_ = s + string(bs)             // want `alloc budget exceeded .* string concatenation` `alloc budget exceeded .* string/\[\]byte conversion`
+	_ = f()
+}
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// bump may not lock, but does.
+//
+//lint:hotpath locks=0
+func (c *counter) bump() {
+	c.mu.Lock() // want `lock budget exceeded .* acquires hotpath.counter.mu`
+	c.n++
+	c.mu.Unlock()
+}
+
+// await may not block, but does.
+//
+//lint:hotpath block=0
+func await(ch chan int) int {
+	return <-ch // want `block budget exceeded .* channel receive`
+}
+
+// chained reaches an allocation through a helper: the report carries the
+// call chain.
+//
+//lint:hotpath alloc=0
+func chained() []byte {
+	return helperAlloc(16)
+}
+
+func helperAlloc(n int) []byte {
+	return make([]byte, n) // want `alloc budget exceeded .* make \(via hotpath.chained -> hotpath.helperAlloc\)`
+}
+
+// suppressed stays silent: its one deliberate site carries //lint:alloc.
+//
+//lint:hotpath alloc=0
+func suppressed() *point {
+	return &point{x: 2} //lint:alloc deliberate slow-path construction
+}
+
+// truncated stays silent: the allocating callee is a declared cold path, so
+// the traversal stops at its boundary.
+//
+//lint:hotpath alloc=0
+func truncated() []byte {
+	return coldAlloc()
+}
+
+// coldAlloc is a deliberate slow path.
+//
+//lint:coldpath fixture slow path
+func coldAlloc() []byte {
+	return make([]byte, 1<<10)
+}
+
+// withinBudget stays silent: one site, budget one.
+//
+//lint:hotpath alloc=1
+func withinBudget() *point {
+	return &point{x: 3}
+}
+
+// badBudget carries an unparsable annotation.
+//
+//lint:hotpath alloc=many
+func badBudget() {} // want `malformed //lint:hotpath annotation`

@@ -1,0 +1,9 @@
+// Package callee is the target half of the cross-package call-graph
+// fixture: caller invokes Helper through its import, which the loader
+// resolves via compiler export data rather than source.
+package callee
+
+// Helper is the cross-package callee.
+func Helper(n int) int {
+	return n + 1
+}

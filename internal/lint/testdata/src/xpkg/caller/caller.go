@@ -1,0 +1,12 @@
+// Package caller is the source half of the cross-package call-graph
+// fixture. Its view of callee.Helper comes from export data, so it is a
+// different types.Func object than the one recorded at Helper's definition
+// — the graph must fall back to the full name to connect the edge.
+package caller
+
+import "integrade/internal/lint/testdata/src/xpkg/callee"
+
+// Call reaches Helper across the package boundary.
+func Call(n int) int {
+	return callee.Helper(n)
+}

@@ -1,0 +1,52 @@
+package lint_test
+
+import (
+	"testing"
+
+	"integrade/internal/lint"
+)
+
+// TestCrossPackageStaticEdge is the regression gate for the cross-package
+// callee resolution bug fixed in PR 6: each target package is type-checked
+// from source but sees its imports through compiler export data, so the
+// caller's *types.Func for callee.Helper is a different object than the one
+// recorded at Helper's definition. Before the full-name fallback in
+// CallGraph.NodeOf, every cross-package static edge was silently absent and
+// interprocedural analyzers treated such calls as opaque. This fixture
+// loads a two-package pair and asserts the edge really exists.
+func TestCrossPackageStaticEdge(t *testing.T) {
+	pkgs, err := lint.Load("", "./testdata/src/xpkg/caller", "./testdata/src/xpkg/callee")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("loaded %d packages, want 2", len(pkgs))
+	}
+	g := lint.BuildCallGraph(pkgs)
+
+	var caller *lint.FuncNode
+	for _, n := range g.Nodes {
+		if n.Name() == "caller.Call" {
+			caller = n
+		}
+	}
+	if caller == nil {
+		t.Fatal("caller.Call not in the graph")
+	}
+	found := false
+	for _, e := range caller.Edges {
+		if e.Kind == lint.EdgeStatic && e.To.Name() == "callee.Helper" {
+			found = true
+			if e.To.Body == nil {
+				t.Error("edge resolved to a bodyless node: full-name fallback returned the export-data view, not the definition")
+			}
+		}
+	}
+	if !found {
+		var edges []string
+		for _, e := range caller.Edges {
+			edges = append(edges, e.To.Name())
+		}
+		t.Fatalf("no static edge caller.Call -> callee.Helper (edges: %v); cross-package full-name fallback is broken", edges)
+	}
+}

@@ -37,6 +37,7 @@ func (f ServantFunc) Dispatch(op string, req *Decoder) (*Encoder, error) {
 // registration happens at setup, dispatch on the hot path.
 type OpMux struct {
 	// mu serializes writers of ops.
+	//lint:guards ops
 	mu  sync.Mutex
 	ops atomic.Pointer[map[string]ServantFunc]
 }
@@ -65,6 +66,8 @@ func (m *OpMux) Handle(op string, fn ServantFunc) *OpMux {
 }
 
 // Dispatch implements Servant.
+//
+//lint:hotpath alloc=0 locks=0 block=0
 func (m *OpMux) Dispatch(op string, req *Decoder) (*Encoder, error) {
 	fn, ok := (*m.ops.Load())[op]
 	if !ok {
@@ -78,6 +81,7 @@ func (m *OpMux) Dispatch(op string, req *Decoder) (*Encoder, error) {
 // copy-on-write so dispatch pays one atomic load instead of a lock.
 type Adapter struct {
 	// mu serializes writers of servants.
+	//lint:guards servants
 	mu       sync.Mutex
 	servants atomic.Pointer[map[string]Servant]
 }
@@ -167,7 +171,7 @@ func (a *Adapter) dispatchEnc(key, op string, body []byte) (enc *Encoder, err er
 	if !ok {
 		return nil, Errorf(CodeObjectNotExist, "no object %q", key)
 	}
-	defer func() {
+	defer func() { //lint:alloc panic guard; open-coded defer keeps it off the heap
 		if r := recover(); r != nil {
 			enc = nil
 			err = Errorf(CodeApplication, "servant panic in %s.%s: %v", key, op, r)
@@ -181,7 +185,7 @@ func (a *Adapter) dispatchEnc(key, op string, body []byte) (enc *Encoder, err er
 		if re, ok := err.(*RemoteError); ok {
 			return nil, re
 		}
-		return nil, &RemoteError{Code: CodeApplication, Msg: err.Error()}
+		return nil, &RemoteError{Code: CodeApplication, Msg: err.Error()} //lint:alloc error slow path
 	}
 	return enc, nil
 }

@@ -1,6 +1,7 @@
 package orb
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -8,52 +9,131 @@ import (
 	"testing"
 )
 
-// TestLoopbackInvokeAllocBudget is the CI allocation gate for the loopback
-// invoke fast path: testdata/alloc_budget.txt holds the checked-in budget
-// (allocs per Invoke for a 256 B echo, currently 1 — the reply buffer that
-// Detach hands to the caller; see DESIGN.md §13). Any hot-path regression
-// that reintroduces a per-call allocation fails this test, and lowering the
-// budget is how a future optimization ratchets the gate down.
-func TestLoopbackInvokeAllocBudget(t *testing.T) {
-	raw, err := os.ReadFile(filepath.Join("testdata", "alloc_budget.txt"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	budget, err := strconv.ParseFloat(strings.TrimSpace(string(raw)), 64)
-	if err != nil {
-		t.Fatalf("testdata/alloc_budget.txt: %v", err)
-	}
+// passThrough is an Interceptor that delivers every message exactly once,
+// exercising the intercepted (copying) invoke path with no fault behavior.
+type passThrough struct{}
 
-	o := New()
-	adapter := NewAdapter()
-	mux := NewOpMux().Handle("echo", func(_ string, req *Decoder) (*Encoder, error) {
-		data := req.RawBytes()
-		if err := req.Err(); err != nil {
-			return nil, err
-		}
-		e := GetEncoder()
-		e.Grow(4 + len(data))
-		e.PutBytes(data)
-		return e, nil
-	})
-	if err := adapter.Register("echo", mux); err != nil {
-		t.Fatal(err)
-	}
-	ep, err := o.BindLoopback("gate", adapter)
+func (passThrough) Intercept(_ Endpoint, _, _ string, _ []byte, next func() ([]byte, error)) ([]byte, error) {
+	return next()
+}
+
+// budgetRow is one named allocation gate from testdata/alloc_budget.txt.
+type budgetRow struct {
+	name   string
+	budget float64
+}
+
+// parseBudgets reads the `<name> <allocs-per-op>` rows of
+// testdata/alloc_budget.txt ('#' starts a comment).
+func parseBudgets(t *testing.T, path string) []budgetRow {
+	t.Helper()
+	raw, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ref := ObjectRef{Endpoint: ep, Key: "echo"}
+	var rows []budgetRow
+	for i, line := range strings.Split(string(raw), "\n") {
+		if j := strings.IndexByte(line, '#'); j >= 0 {
+			line = line[:j]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) != 2 {
+			t.Fatalf("%s:%d: want `<name> <allocs-per-op>`, got %q", path, i+1, line)
+		}
+		budget, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			t.Fatalf("%s:%d: bad budget %q: %v", path, i+1, fields[1], err)
+		}
+		rows = append(rows, budgetRow{name: fields[0], budget: budget})
+	}
+	if len(rows) == 0 {
+		t.Fatalf("%s: no budget rows", path)
+	}
+	return rows
+}
+
+// TestLoopbackInvokeAllocBudget is the CI allocation gate for the loopback
+// invoke paths: testdata/alloc_budget.txt holds one checked-in budget row
+// per measured path (allocs per Invoke for a 256 B echo — the fast path's
+// single allocation is the reply buffer Detach hands to the caller; see
+// DESIGN.md §13). Any hot-path regression that reintroduces a per-call
+// allocation fails this test with a full got-vs-budget row diff, and
+// lowering a row is how a future optimization ratchets the gate down.
+func TestLoopbackInvokeAllocBudget(t *testing.T) {
+	path := filepath.Join("testdata", "alloc_budget.txt")
+	rows := parseBudgets(t, path)
+
+	newRef := func(o *ORB, name string, ic Interceptor) ObjectRef {
+		adapter := NewAdapter()
+		mux := NewOpMux().Handle("echo", func(_ string, req *Decoder) (*Encoder, error) {
+			data := req.RawBytes()
+			if err := req.Err(); err != nil {
+				return nil, err
+			}
+			e := GetEncoder()
+			e.Grow(4 + len(data))
+			e.PutBytes(data)
+			return e, nil
+		})
+		if err := adapter.Register("echo", mux); err != nil {
+			t.Fatal(err)
+		}
+		ep, err := o.BindLoopback(name, adapter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ic != nil {
+			o.SetInterceptor(ic)
+		}
+		return ObjectRef{Endpoint: ep, Key: "echo"}
+	}
 	var e Encoder
 	e.PutBytes(make([]byte, 256))
 	arg := e.Bytes()
 
-	avg := testing.AllocsPerRun(500, func() {
-		if _, err := o.Invoke(ref, "echo", arg); err != nil {
-			t.Fatal(err)
-		}
-	})
-	if avg > budget {
-		t.Fatalf("loopback invoke allocates %.2f/op, budget is %.0f (testdata/alloc_budget.txt)", avg, budget)
+	measure := map[string]func() float64{
+		"loopback-invoke": func() float64 {
+			o := New()
+			ref := newRef(o, "gate", nil)
+			return testing.AllocsPerRun(500, func() {
+				if _, err := o.Invoke(ref, "echo", arg); err != nil {
+					t.Fatal(err)
+				}
+			})
+		},
+		"loopback-invoke-intercepted": func() float64 {
+			o := New()
+			ref := newRef(o, "gate-ic", passThrough{})
+			return testing.AllocsPerRun(500, func() {
+				if _, err := o.Invoke(ref, "echo", arg); err != nil {
+					t.Fatal(err)
+				}
+			})
+		},
 	}
+
+	var (
+		diff   strings.Builder
+		failed bool
+	)
+	for _, row := range rows {
+		m, ok := measure[row.name]
+		if !ok {
+			t.Fatalf("%s: unknown row %q (known: loopback-invoke, loopback-invoke-intercepted)", path, row.name)
+		}
+		got := m()
+		mark := "ok"
+		if got > row.budget {
+			mark = "OVER BUDGET"
+			failed = true
+		}
+		fmt.Fprintf(&diff, "  %-28s got %5.2f allocs/op, budget %4.0f  %s\n", row.name, got, row.budget, mark)
+	}
+	if failed {
+		t.Fatalf("allocation budget exceeded (%s):\n%s", path, diff.String())
+	}
+	t.Logf("allocation budgets hold (%s):\n%s", path, diff.String())
 }

@@ -448,6 +448,8 @@ func (cc *clientConn) call(key, op string, arg []byte, budget time.Duration) ([]
 // the socket, arming the write deadline from each frame's call budget, and
 // flushes the buffered writer only once the queue runs momentarily dry —
 // one flush (and often one syscall) covers every frame coalesced behind it.
+//
+//lint:hotpath alloc=0 locks=0 block=1
 func (cc *clientConn) sendLoop() {
 	defer close(cc.senderDone)
 	for {
@@ -505,6 +507,8 @@ func (cc *clientConn) writeBatch(first *frame) bool {
 // failSend delivers a synthesized local error to the one call whose frame
 // failed to write, preserving the pre-pipelining distinction between a
 // write-deadline expiry (timeout) and a broken socket (transport).
+//
+//lint:coldpath write-failure handling, not the steady-state send path
 func (cc *clientConn) failSend(id uint64, key, op string, budget time.Duration, err error) {
 	var res callResult
 	if isDeadlineErr(err) {
@@ -576,6 +580,8 @@ func (cc *clientConn) readLoop() {
 
 // failAll marks the connection dead, stops the sender and closes the
 // socket; every pending call then fails.
+//
+//lint:coldpath connection teardown, not the steady-state send path
 func (cc *clientConn) failAll() {
 	cc.mu.Lock()
 	alreadyDead := cc.dead

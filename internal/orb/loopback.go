@@ -18,6 +18,7 @@ import (
 // operation; invocation is the hot path.
 type Loopback struct {
 	// mu serializes writers of state.
+	//lint:guards state
 	mu    sync.Mutex
 	state atomic.Pointer[loopbackState]
 }
@@ -107,6 +108,8 @@ func (l *Loopback) Unbind(name string) bool {
 }
 
 // Invoke implements Invoker for inproc references.
+//
+//lint:hotpath alloc=0 locks=0 block=0
 func (l *Loopback) Invoke(ref ObjectRef, op string, arg []byte) ([]byte, error) {
 	if ref.Endpoint.Net != NetLoopback {
 		return nil, Errorf(CodeTransport, "loopback cannot reach %s endpoint", ref.Endpoint.Net)
@@ -129,14 +132,15 @@ func (l *Loopback) Invoke(ref ObjectRef, op string, arg []byte) ([]byte, error) 
 	// several times (drop / deliver / duplicate), possibly asynchronously —
 	// including after Invoke has returned and the caller reuses arg — so
 	// each (re)delivery copies the argument.
-	next := func() ([]byte, error) {
+	next := func() ([]byte, error) { //lint:alloc interceptor path builds one closure per call
+
 		adapter, ok := l.state.Load().adapters[ref.Endpoint.Addr]
 		if !ok {
 			return nil, Errorf(CodeTransport, "no loopback server %q", ref.Endpoint.Addr)
 		}
 		var argCopy []byte
 		if arg != nil {
-			argCopy = make([]byte, len(arg))
+			argCopy = make([]byte, len(arg)) //lint:alloc each (re)delivery copies the caller's buffer
 			copy(argCopy, arg)
 		}
 		return adapter.dispatch(ref.Key, op, argCopy)

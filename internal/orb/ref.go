@@ -114,6 +114,8 @@ func (e *RemoteError) Is(target error) bool {
 }
 
 // Errorf builds a RemoteError.
+//
+//lint:coldpath error construction is off the steady-state path
 func Errorf(code ErrorCode, format string, args ...any) *RemoteError {
 	return &RemoteError{Code: code, Msg: fmt.Sprintf(format, args...)}
 }

@@ -116,6 +116,8 @@ func putDecoder(d *Decoder) {
 }
 
 // PutU8 appends a byte.
+//
+//lint:hotpath alloc=1
 func (e *Encoder) PutU8(v uint8) { e.buf = append(e.buf, v) }
 
 // PutBool appends a boolean as one byte.
@@ -128,11 +130,15 @@ func (e *Encoder) PutBool(v bool) {
 }
 
 // PutU32 appends a big-endian uint32.
+//
+//lint:hotpath alloc=1
 func (e *Encoder) PutU32(v uint32) {
 	e.buf = binary.BigEndian.AppendUint32(e.buf, v)
 }
 
 // PutU64 appends a big-endian uint64.
+//
+//lint:hotpath alloc=1
 func (e *Encoder) PutU64(v uint64) {
 	e.buf = binary.BigEndian.AppendUint64(e.buf, v)
 }
@@ -147,12 +153,16 @@ func (e *Encoder) PutInt(v int) { e.PutI64(int64(v)) }
 func (e *Encoder) PutF64(v float64) { e.PutU64(math.Float64bits(v)) }
 
 // PutString appends a length-prefixed UTF-8 string.
+//
+//lint:hotpath alloc=2
 func (e *Encoder) PutString(v string) {
 	e.PutU32(uint32(len(v)))
 	e.buf = append(e.buf, v...)
 }
 
 // PutBytes appends a length-prefixed byte slice.
+//
+//lint:hotpath alloc=2
 func (e *Encoder) PutBytes(v []byte) {
 	e.PutU32(uint32(len(v)))
 	e.buf = append(e.buf, v...)
@@ -168,6 +178,8 @@ func (e *Encoder) PutTime(t time.Time) {
 func (e *Encoder) PutDuration(d time.Duration) { e.PutI64(int64(d)) }
 
 // PutStrings appends a length-prefixed slice of strings.
+//
+//lint:hotpath alloc=2
 func (e *Encoder) PutStrings(vs []string) {
 	e.PutU32(uint32(len(vs)))
 	for _, v := range vs {
@@ -219,6 +231,8 @@ func (d *Decoder) U8() uint8 {
 func (d *Decoder) Bool() bool { return d.U8() != 0 }
 
 // U32 reads a big-endian uint32.
+//
+//lint:hotpath alloc=0 locks=0 block=0
 func (d *Decoder) U32() uint32 {
 	b := d.take(4)
 	if b == nil {
@@ -228,6 +242,8 @@ func (d *Decoder) U32() uint32 {
 }
 
 // U64 reads a big-endian uint64.
+//
+//lint:hotpath alloc=0 locks=0 block=0
 func (d *Decoder) U64() uint64 {
 	b := d.take(8)
 	if b == nil {
@@ -246,13 +262,15 @@ func (d *Decoder) Int() int { return int(d.I64()) }
 func (d *Decoder) F64() float64 { return math.Float64frombits(d.U64()) }
 
 // String reads a length-prefixed string.
+//
+//lint:hotpath alloc=1
 func (d *Decoder) String() string {
 	n := d.U32()
 	if d.err != nil {
 		return ""
 	}
 	if n > MaxStringLen {
-		d.err = fmt.Errorf("orb: string length %d exceeds limit", n)
+		d.err = fmt.Errorf("orb: string length %d exceeds limit", n) //lint:alloc error slow path
 		return ""
 	}
 	b := d.take(int(n))
@@ -263,13 +281,15 @@ func (d *Decoder) String() string {
 }
 
 // Bytes reads a length-prefixed byte slice. The result is a copy.
+//
+//lint:hotpath alloc=1
 func (d *Decoder) Bytes() []byte {
 	n := d.U32()
 	if d.err != nil {
 		return nil
 	}
 	if n > MaxStringLen {
-		d.err = fmt.Errorf("orb: bytes length %d exceeds limit", n)
+		d.err = fmt.Errorf("orb: bytes length %d exceeds limit", n) //lint:alloc error slow path
 		return nil
 	}
 	b := d.take(int(n))
@@ -285,13 +305,15 @@ func (d *Decoder) Bytes() []byte {
 // aliases the decoder's buffer: the caller must treat it as read-only and
 // must not retain it past the buffer's lifetime — for a servant, past the
 // Dispatch call (DESIGN.md §13). Use Bytes when the value is kept.
+//
+//lint:hotpath alloc=0 locks=0 block=0
 func (d *Decoder) RawBytes() []byte {
 	n := d.U32()
 	if d.err != nil {
 		return nil
 	}
 	if n > MaxStringLen {
-		d.err = fmt.Errorf("orb: bytes length %d exceeds limit", n)
+		d.err = fmt.Errorf("orb: bytes length %d exceeds limit", n) //lint:alloc error slow path
 		return nil
 	}
 	return d.take(int(n))
@@ -301,13 +323,15 @@ func (d *Decoder) RawBytes() []byte {
 // string-conversion copy. Same aliasing rules as RawBytes; compare with
 // string(b) == "lit" (which the compiler keeps allocation-free) or
 // bytes.Equal. Use String when the value is kept.
+//
+//lint:hotpath alloc=0 locks=0 block=0
 func (d *Decoder) RawString() []byte {
 	n := d.U32()
 	if d.err != nil {
 		return nil
 	}
 	if n > MaxStringLen {
-		d.err = fmt.Errorf("orb: string length %d exceeds limit", n)
+		d.err = fmt.Errorf("orb: string length %d exceeds limit", n) //lint:alloc error slow path
 		return nil
 	}
 	return d.take(int(n))
@@ -327,13 +351,15 @@ func (d *Decoder) Time() time.Time {
 func (d *Decoder) Duration() time.Duration { return time.Duration(d.I64()) }
 
 // Strings reads a length-prefixed slice of strings.
+//
+//lint:hotpath alloc=3
 func (d *Decoder) Strings() []string {
 	n := d.U32()
 	if d.err != nil {
 		return nil
 	}
 	if n > MaxSliceLen {
-		d.err = fmt.Errorf("orb: slice length %d exceeds limit", n)
+		d.err = fmt.Errorf("orb: slice length %d exceeds limit", n) //lint:alloc error slow path
 		return nil
 	}
 	out := make([]string, 0, n)

@@ -218,6 +218,8 @@ func (s *Service) All(serviceType string) []Offer {
 // Offers whose constraint evaluation errors (for example, a missing
 // property) simply do not match — mirroring the CORBA trader, which treats
 // such offers as failing the constraint rather than failing the query.
+//
+//lint:hotpath alloc=8 locks=4 block=0
 func (s *Service) Select(q Query) ([]Offer, error) {
 	var (
 		cons *constraint.Expr
@@ -226,12 +228,12 @@ func (s *Service) Select(q Query) ([]Offer, error) {
 	)
 	if q.Constraint != "" {
 		if cons, err = compileCache.Compile(q.Constraint); err != nil {
-			return nil, fmt.Errorf("trading: constraint: %w", err)
+			return nil, fmt.Errorf("trading: constraint: %w", err) //lint:alloc error slow path
 		}
 	}
 	if q.Preference != "" {
 		if pref, err = compileCache.Compile(q.Preference); err != nil {
-			return nil, fmt.Errorf("trading: preference: %w", err)
+			return nil, fmt.Errorf("trading: preference: %w", err) //lint:alloc error slow path
 		}
 	}
 	s.pruneExpired()
@@ -287,9 +289,9 @@ func (s *Service) removeLocked(id string) {
 	typed := s.byType[o.ServiceType]
 	// The index is sorted by seq, so the victim's position is a binary
 	// search away.
-	i := sort.Search(len(typed), func(i int) bool { return typed[i].seq >= o.seq })
+	i := sort.Search(len(typed), func(i int) bool { return typed[i].seq >= o.seq }) //lint:alloc non-escaping search predicate
 	if i < len(typed) && typed[i].seq == o.seq {
-		typed = append(typed[:i], typed[i+1:]...)
+		typed = append(typed[:i], typed[i+1:]...) //lint:alloc in-place removal never grows
 	}
 	if len(typed) == 0 {
 		delete(s.byType, o.ServiceType)
