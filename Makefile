@@ -6,7 +6,7 @@ FUZZ_SMOKE_TIME ?= 30s
 # Seeds the chaos target sweeps; each runs the fault-injection suite once.
 CHAOS_SEEDS ?= 1 7 42
 
-.PHONY: all build test race vet lint lint-fast interproc-lint fuzz-smoke fmt-check chaos failover bench-orb bench-orb-check ci
+.PHONY: all build test race vet lint lint-fast interproc-lint fuzz-smoke fmt-check chaos failover election bench-orb bench-orb-check ci
 
 all: build
 
@@ -51,11 +51,15 @@ lint-fast:
 interproc-lint:
 	$(GO) run ./cmd/integrade-lint -novet -analyzers interproc -json ./...
 
-# Short fuzz runs over the two wire decoders. Any crasher fails the target.
+# Short fuzz runs over the wire decoders: the constraint compiler, the ORB
+# framing layer, and the consensus/replication payload decoders. Any crasher
+# fails the target.
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzCompile -fuzztime=$(FUZZ_SMOKE_TIME) ./internal/constraint
 	$(GO) test -run=^$$ -fuzz=FuzzReadFrame -fuzztime=$(FUZZ_SMOKE_TIME) ./internal/orb
 	$(GO) test -run=^$$ -fuzz=FuzzUnmarshal -fuzztime=$(FUZZ_SMOKE_TIME) ./internal/orb
+	$(GO) test -run=^$$ -fuzz=FuzzAppendEntries -fuzztime=$(FUZZ_SMOKE_TIME) ./internal/election
+	$(GO) test -run=^$$ -fuzz=FuzzReplicaBatch -fuzztime=$(FUZZ_SMOKE_TIME) ./internal/grm
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
@@ -84,6 +88,21 @@ failover:
 			./internal/core ./internal/grm ./internal/checkpoint || exit 1; \
 	done
 
+# Consensus control-plane suite under the race detector, swept over the same
+# fixed seeds: leader election and log replication in internal/election,
+# epoch fencing and quorum replication in the GRM, and the end-to-end
+# replica-set scenarios in core (leader crash, split-brain partition with
+# fencing, the Promote single-flight race).
+election:
+	@for seed in $(CHAOS_SEEDS); do \
+		echo "== election suite, seed $$seed =="; \
+		CHAOS_SEED=$$seed $(GO) test -race -count=1 \
+			./internal/election || exit 1; \
+		CHAOS_SEED=$$seed $(GO) test -race -count=1 \
+			-run 'Consensus|Election|Epoch|Fenc|Quorum|Promote' \
+			./internal/core ./internal/grm || exit 1; \
+	done
+
 # ORB hot-path performance: the E12 microbenchmarks with allocation counts,
 # then the machine-readable report checked in as BENCH_orb.json (compare it
 # against the embedded pre_optimization_baseline block).
@@ -100,4 +119,4 @@ bench-orb-check:
 	$(GO) run ./cmd/integrade-bench -orb-json /tmp/BENCH_orb_ci.json -orb-short
 
 # Everything CI runs, in the same order.
-ci: build fmt-check vet lint interproc-lint race chaos failover bench-orb-check fuzz-smoke
+ci: build fmt-check vet lint interproc-lint race chaos failover election bench-orb-check fuzz-smoke

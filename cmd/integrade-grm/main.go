@@ -15,6 +15,15 @@
 //
 //	integrade-grm -listen :7000 -cluster ime -replicate-to host2:7000
 //	integrade-grm -listen :7000 -cluster ime -standby        # on host2
+//
+// A consensus replica set replaces the silence monitor with an elected
+// leader, quorum-acknowledged replication and fencing epochs. Every member
+// runs the same -peers list; exactly one passes -bootstrap on first start:
+//
+//	integrade-grm -listen :7000 -cluster ime -id m0 \
+//	    -peers m0=host0:7000,m1=host1:7000,m2=host2:7000 -bootstrap
+//	integrade-grm -listen :7000 -cluster ime -id m1 \
+//	    -peers m0=host0:7000,m1=host1:7000,m2=host2:7000    # on host1, m2 alike
 package main
 
 import (
@@ -23,9 +32,13 @@ import (
 	"log/slog"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"sort"
+	"strings"
 	"syscall"
 	"time"
 
+	"integrade/internal/election"
 	"integrade/internal/grm"
 	"integrade/internal/gupa"
 	"integrade/internal/hierarchy"
@@ -52,6 +65,10 @@ func run() error {
 		parentRef = flag.String("parent", "", "parent hierarchy node reference (tcp://host:port/hierarchy)")
 		standby   = flag.Bool("standby", false, "start as a warm standby: mirror a primary's replication stream and promote when it goes silent")
 		replTo    = flag.String("replicate-to", "", "standby GRM TCP address to stream state to (primary side of a failover pair)")
+		memberID  = flag.String("id", "", "this replica's member name within -peers")
+		peersFlag = flag.String("peers", "", "consensus replica set as name=host:port pairs, comma-separated, including this member")
+		bootstrap = flag.Bool("bootstrap", false, "assume term-1 leadership on first start (exactly one member of a fresh replica set)")
+		stateDir  = flag.String("state-dir", "", "directory for persistent election state (default .integrade-grm/<cluster>-<id>)")
 		verbose   = flag.Bool("v", false, "verbose logging")
 	)
 	flag.Parse()
@@ -117,22 +134,37 @@ func run() error {
 		}
 	}
 
-	if *standby {
+	switch {
+	case *peersFlag != "":
+		if *standby || *replTo != "" {
+			return fmt.Errorf("-peers is mutually exclusive with -standby/-replicate-to")
+		}
+		en, err := buildElection(g, adapter, o, clock, log,
+			*cluster, *memberID, *peersFlag, *stateDir, *bootstrap)
+		if err != nil {
+			return err
+		}
+		defer en.Stop()
+		defer g.Stop()
+		en.Start()
+		fmt.Printf("  consensus member %q (bootstrap=%v)\n", *memberID, *bootstrap)
+	case *standby:
 		// Passive until the primary's replication stream goes silent past
 		// the detection threshold; Promote() then starts the scheduler.
 		g.BecomeStandby(grm.StandbyConfig{OnPromote: func() {
 			fmt.Println("primary silent — promoted to active cluster manager")
 		}})
-	} else {
+		defer g.Stop()
+	default:
 		g.Start()
-	}
-	defer g.Stop()
-	if *replTo != "" {
-		g.AttachStandby(orb.ObjectRef{
-			Endpoint: orb.Endpoint{Net: orb.NetTCP, Addr: *replTo},
-			Key:      protocol.GRMKey,
-		})
-		fmt.Printf("  replicating to standby at %s\n", *replTo)
+		defer g.Stop()
+		if *replTo != "" {
+			g.AttachStandby(orb.ObjectRef{
+				Endpoint: orb.Endpoint{Net: orb.NetTCP, Addr: *replTo},
+				Key:      protocol.GRMKey,
+			})
+			fmt.Printf("  replicating to standby at %s\n", *replTo)
+		}
 	}
 
 	fmt.Printf("cluster manager %q up (role %s)\n", *cluster, g.Role())
@@ -153,11 +185,85 @@ func run() error {
 			return nil
 		case <-ticker.C:
 			st := g.Stats()
-			fmt.Printf("[%s] role=%s nodes=%d updates=%d submissions=%d placed=%d pending-evictions=%d replica-batches=%d\n",
-				time.Now().Format("15:04:05"), g.Role(), g.KnownNodes(), st.UpdatesReceived,
+			fmt.Printf("[%s] role=%s epoch=%d nodes=%d updates=%d submissions=%d placed=%d pending-evictions=%d replica-batches=%d\n",
+				time.Now().Format("15:04:05"), g.Role(), g.Epoch(), g.KnownNodes(), st.UpdatesReceived,
 				st.Submissions, st.TasksPlaced, st.TasksEvicted, st.ReplicaBatches)
 		}
 	}
+}
+
+// buildElection wires the GRM into a consensus replica set: the member list
+// becomes the election peer map, hard state persists under the state dir
+// (so a restarted member cannot double-vote in a term it already voted in),
+// and leadership transitions drive the GRM's role and fencing epoch.
+func buildElection(g *grm.GRM, adapter *orb.Adapter, o *orb.ORB, clock sim.Clock,
+	log *slog.Logger, cluster, id, peersFlag, stateDir string, bootstrap bool) (*election.Node, error) {
+	if id == "" {
+		return nil, fmt.Errorf("-peers requires -id")
+	}
+	peers, err := parsePeers(peersFlag)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := peers[id]; !ok {
+		return nil, fmt.Errorf("-id %q is not in -peers", id)
+	}
+	if stateDir == "" {
+		stateDir = filepath.Join(".integrade-grm", cluster+"-"+id)
+	}
+	store, err := election.NewFileStore(stateDir)
+	if err != nil {
+		return nil, err
+	}
+	en := election.NewNode(election.Config{
+		ID:         id,
+		Peers:      peers,
+		Clock:      clock,
+		RNG:        sim.NewRNG(time.Now().UnixNano()),
+		Inv:        o,
+		Store:      store,
+		Apply:      g.ApplyReplicaEntry,
+		OnLeader:   func(term int) { g.LeadAt(term) },
+		OnFollower: func(term int, leader string) { g.FollowAt(term) },
+		Bootstrap:  bootstrap,
+		Logger:     log,
+	})
+	g.UseElection(en)
+	if !bootstrap {
+		g.FollowAt(0)
+	}
+	if err := adapter.Register(election.ObjectKey, en.Servant()); err != nil {
+		return nil, err
+	}
+	return en, nil
+}
+
+// parsePeers decodes "name=host:port,..." into election peer references.
+func parsePeers(s string) (map[string]orb.ObjectRef, error) {
+	peers := make(map[string]orb.ObjectRef)
+	parts := strings.Split(s, ",")
+	sort.Strings(parts)
+	for _, part := range parts {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, addr, ok := strings.Cut(part, "=")
+		if !ok || name == "" || addr == "" {
+			return nil, fmt.Errorf("malformed -peers entry %q (want name=host:port)", part)
+		}
+		if _, dup := peers[name]; dup {
+			return nil, fmt.Errorf("duplicate -peers member %q", name)
+		}
+		peers[name] = orb.ObjectRef{
+			Endpoint: orb.Endpoint{Net: orb.NetTCP, Addr: addr},
+			Key:      election.ObjectKey,
+		}
+	}
+	if len(peers) < 2 {
+		return nil, fmt.Errorf("-peers needs at least two members, got %d", len(peers))
+	}
+	return peers, nil
 }
 
 func policyByName(name string) (grm.Policy, error) {

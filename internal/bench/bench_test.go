@@ -158,8 +158,8 @@ func TestAblationMaxAttemptsShape(t *testing.T) {
 
 func TestExp13Shape(t *testing.T) {
 	tb := Exp13Failover(1)
-	if len(tb.Rows) != 7 {
-		t.Fatalf("rows = %d, want 7 (none + 3 thresholds x cold/warm)", len(tb.Rows))
+	if len(tb.Rows) != 12 {
+		t.Fatalf("rows = %d, want 12 (kill block of 8 + partition block of 4)", len(tb.Rows))
 	}
 	col := func(name string) int {
 		for i, c := range tb.Columns {
@@ -171,14 +171,15 @@ func TestExp13Shape(t *testing.T) {
 		return -1
 	}
 	pct, lost, ms, rec := col("completion_pct"), col("inflight_lost"), col("makespan_min"), col("recover_s")
+	fault, dual := col("fault"), col("dual_writes")
 
 	// No failover: the pending wave is stranded, the cluster never recovers.
 	if tb.Rows[0][0] != "none" || tb.Rows[0][rec] != "-" || tb.Rows[0][pct] == "100" {
 		t.Fatalf("no-failover row = %v", tb.Rows[0])
 	}
-	for i := 1; i < len(tb.Rows); i += 2 {
+	for i := 1; i <= 6; i += 2 {
 		cold, warm := tb.Rows[i], tb.Rows[i+1]
-		if cold[0] != "cold" || warm[0] != "warm" {
+		if cold[0] != "cold" || warm[0] != "warm" || cold[fault] != "kill" || warm[fault] != "kill" {
 			t.Fatalf("unexpected mode order: %v / %v", cold, warm)
 		}
 		// Both modes recover the full bag...
@@ -203,6 +204,37 @@ func TestExp13Shape(t *testing.T) {
 		if warmMs >= coldMs {
 			t.Fatalf("warm makespan %v not better than cold %v (detect %s)", warmMs, coldMs, cold[1])
 		}
+	}
+	// A clean kill leaves no one to double-write: every failover mode's kill
+	// row must report zero post-fault placements by the dead manager.
+	for _, r := range tb.Rows[1:8] {
+		if r[fault] == "kill" && r[dual] != "0" {
+			t.Fatalf("dual writes after a clean kill: %v", r)
+		}
+	}
+
+	// The consensus replica set: election replaces the detection threshold and
+	// must be strictly safe under both faults — nothing lost, nothing
+	// double-written, full completion.
+	for _, i := range []int{7, 11} {
+		q := tb.Rows[i]
+		if q[0] != "quorum" {
+			t.Fatalf("row %d mode = %q, want quorum", i, q[0])
+		}
+		if q[rec] == "-" || q[pct] != "100" || q[lost] != "0" || q[dual] != "0" {
+			t.Fatalf("quorum row not loss-free: %v", q)
+		}
+	}
+
+	// The partition block separates fencing from hope: the warm pair has no
+	// fencing, so its deposed-but-alive primary keeps placing tasks the fleet
+	// accepts; the quorum set (checked above) drives the same count to zero.
+	warmPart := tb.Rows[10]
+	if warmPart[0] != "warm" || warmPart[fault] != "partition" {
+		t.Fatalf("row 10 = %v, want warm/partition", warmPart)
+	}
+	if wd, _ := strconv.Atoi(warmPart[dual]); wd == 0 {
+		t.Fatalf("warm/partition recorded no split-brain writes: %v", warmPart)
 	}
 }
 

@@ -29,8 +29,8 @@ const (
 var e13Alloc = resource.Vector{MIPS: e13MIPS, RAMMB: 64}
 
 // Exp13Failover measures cluster self-healing after the GRM — the paper's
-// acknowledged single point of failure per cluster — dies without warning.
-// Three recovery modes run the identical workload and crash instant:
+// acknowledged single point of failure per cluster — fails. Four recovery
+// modes run the identical workload against two fault shapes:
 //
 //   - none: the cluster stays headless. In-flight tasks still finish (they
 //     live on the nodes), but pending work is stranded forever.
@@ -41,32 +41,50 @@ var e13Alloc = resource.Vector{MIPS: e13MIPS, RAMMB: 64}
 //   - warm: a standby manager tails the primary's replication stream and
 //     promotes itself after the threshold. Replicated state covers every
 //     task, so nothing is reaped and nothing is repeated.
+//   - quorum: a three-member consensus replica set. The election timeout is
+//     the detector, replication is quorum-acknowledged, and every manager
+//     write carries a fencing epoch the LRMs enforce.
 //
-// time-to-recover is the span from the crash until the cluster again has an
+// The kill fault is a clean crash: the manager process dies. The partition
+// fault is the nastier one — the manager stays alive but loses its control
+// links (replication stream, election peers, or inbound traffic), so a
+// second primary can arise while the first is still issuing writes.
+// dual_writes counts task placements the deposed manager got the fleet to
+// accept after the fault: the warm standby has no fencing, so its partition
+// row shows the split-brain writes the quorum mode must drive to zero.
+//
+// time-to-recover is the span from the fault until the cluster again has an
 // active manager that knows the whole fleet. Completed work is counted on
 // the node side (LRM counters), which survives any manager death.
 func Exp13Failover(seed int64) Table {
 	t := Table{
 		ID:    "E13",
 		Title: "GRM failover: time-to-recover and lost work vs. detection threshold",
-		Columns: []string{"mode", "detect_s", "recover_s", "tasks_done",
-			"completion_pct", "inflight_lost", "reregs", "makespan_min"},
+		Columns: []string{"mode", "fault", "detect_s", "recover_s", "tasks_done",
+			"completion_pct", "inflight_lost", "dual_writes", "reregs", "makespan_min"},
 	}
-	runFailoverMode(&t, seed, "none", 0)
+	runFailoverMode(&t, seed, "none", "kill", 0)
 	for _, detect := range []time.Duration{30 * time.Second, 60 * time.Second, 120 * time.Second} {
-		runFailoverMode(&t, seed, "cold", detect)
-		runFailoverMode(&t, seed, "warm", detect)
+		runFailoverMode(&t, seed, "cold", "kill", detect)
+		runFailoverMode(&t, seed, "warm", "kill", detect)
 	}
+	runFailoverMode(&t, seed, "quorum", "kill", 0)
+	runFailoverMode(&t, seed, "none", "partition", 0)
+	runFailoverMode(&t, seed, "cold", "partition", 60*time.Second)
+	runFailoverMode(&t, seed, "warm", "partition", 60*time.Second)
+	runFailoverMode(&t, seed, "quorum", "partition", 0)
 	t.Notes = append(t.Notes,
-		fmt.Sprintf("%d dedicated %.0f-MIPS machines, %d tasks of 30min each; manager crashes at %v with one wave done, one in flight, one pending",
+		fmt.Sprintf("%d dedicated %.0f-MIPS machines, %d tasks of 30min each; manager fails at %v with one wave done, one in flight, one pending",
 			e13Nodes, e13MIPS, e13Tasks, e13CrashAt),
 		"tasks_done counts node-side completions, which survive the manager; inflight_lost counts running tasks reaped by the reconcile exchange",
-		"'-' means the cluster never recovered (no-failover) or the bag missed the horizon",
+		"dual_writes counts placements the failed manager made after the fault; under partition the warm pair accepts them (no fencing) while the quorum set rejects every one",
+		"quorum detect_s is '-': the election timeout replaces the configured threshold",
+		"'-' means the cluster never recovered (no-failover, or a split-brain survivor the fleet cannot reach) or the bag missed the horizon",
 	)
 	return t
 }
 
-func runFailoverMode(t *Table, seed int64, mode string, detect time.Duration) {
+func runFailoverMode(t *Table, seed int64, mode, fault string, detect time.Duration) {
 	g := core.NewGrid(core.WithSeed(seed))
 	defer g.Stop()
 	opts := []core.ClusterOption{
@@ -76,6 +94,13 @@ func runFailoverMode(t *Table, seed int64, mode string, detect time.Duration) {
 	if detect > 0 {
 		opts = append(opts, core.WithGRMOptions(grm.WithSuspectAfter(detect)))
 	}
+	if mode == "quorum" {
+		// Keep the successor's failure detector quiet across the election
+		// window: the LRMs take up to a minute to re-register with it.
+		opts = append(opts, core.WithGRMOptions(
+			grm.WithSuspectAfter(2*time.Minute),
+			grm.WithOfferTTL(5*time.Minute)))
+	}
 	c, err := g.AddCluster("fleet", opts...)
 	if err != nil {
 		return
@@ -83,8 +108,14 @@ func runFailoverMode(t *Table, seed int64, mode string, detect time.Duration) {
 	if _, err := c.AddNodes(core.DedicatedNodes(e13Nodes, e13MIPS)); err != nil {
 		return
 	}
-	if mode == "warm" {
+	engine := g.EnableChaos(seed)
+	switch mode {
+	case "warm":
 		if err := c.EnableStandby(); err != nil {
+			return
+		}
+	case "quorum":
+		if err := c.EnableReplicaSet(2); err != nil {
 			return
 		}
 	}
@@ -97,13 +128,38 @@ func runFailoverMode(t *Table, seed int64, mode string, detect time.Duration) {
 		return
 	}
 
-	crashed := c.GRM()
-	if err := g.CrashGRM("fleet"); err != nil {
-		return
+	failed := c.GRM()
+	placedAtFault := failed.Stats().TasksPlaced
+	switch fault {
+	case "kill":
+		if err := g.CrashGRM("fleet"); err != nil {
+			return
+		}
+	case "partition":
+		switch mode {
+		case "quorum":
+			// Sever the leader's consensus links both ways; its data-plane
+			// path to the LRMs stays open, so only fencing protects the fleet.
+			lead := c.ManagerEndpoint()
+			for _, ep := range c.ReplicaEndpoints() {
+				if ep != lead {
+					engine.IsolateDirected(lead, ep)
+					engine.IsolateDirected(ep, lead)
+				}
+			}
+		case "warm":
+			// Sever only the replication stream: the standby times the silent
+			// primary out and promotes while the primary is alive and writing.
+			engine.IsolateDirected(c.ManagerEndpoint(), c.StandbyEndpoint())
+		default:
+			// Isolate the manager's inbound side: updates and submissions
+			// fail, but the manager itself keeps running and sending.
+			engine.Isolate(c.ManagerEndpoint())
+		}
 	}
 	if mode == "cold" {
 		// Watchdog: the same detection threshold a standby would use, then a
-		// rebuild from nothing.
+		// rebuild from nothing (which also stops the partitioned incarnation).
 		if err := g.Advance(detect); err != nil {
 			return
 		}
@@ -117,7 +173,7 @@ func runFailoverMode(t *Table, seed int64, mode string, detect time.Duration) {
 	if mode != "none" {
 		for elapsed := time.Duration(0); elapsed <= 15*time.Minute; elapsed += e13Probe {
 			mgr := c.GRM()
-			if mgr != crashed && mgr.Role() == grm.RolePrimary && mgr.KnownNodes() == e13Nodes {
+			if mgr != failed && mgr.Role() == grm.RolePrimary && mgr.KnownNodes() == e13Nodes {
 				recover = elapsed
 				break
 			}
@@ -125,7 +181,7 @@ func runFailoverMode(t *Table, seed int64, mode string, detect time.Duration) {
 				return
 			}
 		}
-		if mode == "cold" {
+		if mode == "cold" && recover >= 0 {
 			recover += detect // the watchdog's detection time counts too
 		}
 	}
@@ -172,8 +228,14 @@ func runFailoverMode(t *Table, seed int64, mode string, detect time.Duration) {
 	if detect > 0 {
 		det = formatFloat(detect.Seconds())
 	}
-	t.AddRow(mode, det, rec, done, formatFloat(100*float64(done)/e13Tasks),
-		orphans, reregs, ms)
+	dual := "-"
+	if mode != "none" {
+		// Placements the failed manager still got accepted after the fault:
+		// zero for a clean kill, and — with fencing — zero under partition.
+		dual = fmt.Sprint(failed.Stats().TasksPlaced - placedAtFault)
+	}
+	t.AddRow(mode, fault, det, rec, done, formatFloat(100*float64(done)/e13Tasks),
+		orphans, dual, reregs, ms)
 }
 
 // lrmCompleted sums node-side task completions — the ground truth that

@@ -18,6 +18,12 @@
 //   - Partitions (Isolate/Heal): endpoint isolation sets. Any invocation
 //     targeting an isolated address fails with a transport error, which
 //     approximates a network partition from the caller's viewpoint.
+//   - Directional partitions (IsolateOutbound/IsolateDirected): one-way
+//     drops keyed on the sending endpoint. The shared interceptor hook only
+//     sees the target, so directional rules are enforced at the sender via
+//     SourceInvoker (or Engine.CheckSend), which components wrap around
+//     their ORB handle. Leader-election pathologies — a node that can send
+//     votes yet not receive heartbeats — need exactly this asymmetry.
 //   - Node crashes (RegisterNode/ScheduleCrash): a crash invokes the
 //     registered Crash hook (the host decides what "crash" means — in the
 //     simulated grid it silences the LRM and isolates the node's endpoint)
@@ -83,13 +89,14 @@ type NodeHooks struct {
 
 // Stats counts injected faults; all fields are cumulative.
 type Stats struct {
-	Seen           int // invocations inspected
-	Dropped        int // messages lost to MessageFault.Drop
-	Delayed        int // messages delayed past their deadline
-	Duplicated     int // messages delivered twice
-	PartitionDrops int // messages refused because the target was isolated
-	Crashes        int // node crash hooks fired
-	Restarts       int // node restart hooks fired
+	Seen            int // invocations inspected
+	Dropped         int // messages lost to MessageFault.Drop
+	Delayed         int // messages delayed past their deadline
+	Duplicated      int // messages delivered twice
+	PartitionDrops  int // messages refused because the target was isolated
+	DirectionalDrop int // messages refused by an outbound/directed rule
+	Crashes         int // node crash hooks fired
+	Restarts        int // node restart hooks fired
 }
 
 // Engine injects faults into ORB traffic and schedules node-level failures.
@@ -98,18 +105,24 @@ type Stats struct {
 type Engine struct {
 	clock sim.Clock
 
-	// mu guards rng, nextFaultID, faults, isolated, nodes and stats. It is
-	// only ever held to make decisions and snapshot state — never across a
-	// delivery, a hook, or any other call that could block.
+	// mu guards rng, nextFaultID, faults, isolated, outbound, directed,
+	// nodes and stats. It is only ever held to make decisions and snapshot
+	// state — never across a delivery, a hook, or any other call that could
+	// block.
 	//
-	//lint:guards rng,nextFaultID,faults,isolated,nodes,stats
+	//lint:guards rng,nextFaultID,faults,isolated,outbound,directed,nodes,stats
 	mu          sync.Mutex
 	rng         *sim.RNG
 	nextFaultID int
 	faults      map[int]MessageFault
 	isolated    map[string]bool
-	nodes       map[string]NodeHooks
-	stats       Stats
+	// outbound drops every message originating at an address; directed
+	// drops only the (from, to) pairs it holds. Both are sender-side rules,
+	// evaluated by CheckSend, not by the target-only Intercept hook.
+	outbound map[string]bool
+	directed map[string]map[string]bool
+	nodes    map[string]NodeHooks
+	stats    Stats
 }
 
 var _ orb.Interceptor = (*Engine)(nil)
@@ -122,6 +135,8 @@ func NewEngine(clock sim.Clock, rng *sim.RNG) *Engine {
 		rng:      rng.Fork("chaos"),
 		faults:   make(map[int]MessageFault),
 		isolated: make(map[string]bool),
+		outbound: make(map[string]bool),
+		directed: make(map[string]map[string]bool),
 		nodes:    make(map[string]NodeHooks),
 	}
 }
@@ -175,11 +190,13 @@ func (e *Engine) Heal(addrs ...string) {
 	}
 }
 
-// HealAll clears the partition set.
+// HealAll clears the partition set along with every directional rule.
 func (e *Engine) HealAll() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.isolated = make(map[string]bool)
+	e.outbound = make(map[string]bool)
+	e.directed = make(map[string]map[string]bool)
 }
 
 // Isolated reports whether addr is currently partitioned away.
@@ -187,6 +204,131 @@ func (e *Engine) Isolated(addr string) bool {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.isolated[addr]
+}
+
+// IsolateOutbound drops every message originating at the given addresses
+// until HealOutbound. Inbound traffic to them still flows — the asymmetric
+// half of a one-way partition.
+func (e *Engine) IsolateOutbound(addrs ...string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, a := range addrs {
+		e.outbound[a] = true
+	}
+}
+
+// HealOutbound removes addresses from the outbound-drop set.
+func (e *Engine) HealOutbound(addrs ...string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, a := range addrs {
+		delete(e.outbound, a)
+	}
+}
+
+// IsolateDirected drops messages from `from` to `to` only; the reverse
+// direction and every other pair are untouched.
+func (e *Engine) IsolateDirected(from, to string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	set := e.directed[from]
+	if set == nil {
+		set = make(map[string]bool)
+		e.directed[from] = set
+	}
+	set[to] = true
+}
+
+// HealDirected removes the (from, to) drop rule.
+func (e *Engine) HealDirected(from, to string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if set := e.directed[from]; set != nil {
+		delete(set, to)
+		if len(set) == 0 {
+			delete(e.directed, from)
+		}
+	}
+}
+
+// OutboundBlocked reports whether a message from `from` to `to` would be
+// refused by an outbound or directed rule.
+func (e *Engine) OutboundBlocked(from, to string) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.outbound[from] {
+		return true
+	}
+	set := e.directed[from]
+	return set != nil && set[to]
+}
+
+// CheckSend is the sender-side gate for directional rules: a component that
+// knows its own endpoint address calls it (directly or via SourceInvoker)
+// before invoking. It returns a transport error — and counts the drop — when
+// an outbound or directed rule blocks the (source, target) pair, and nil
+// otherwise. Symmetric partitions are still handled by Intercept; CheckSend
+// only covers the directions Intercept cannot see.
+func (e *Engine) CheckSend(source string, target orb.Endpoint, key, op string) error {
+	e.mu.Lock()
+	blocked := e.outbound[source]
+	if !blocked {
+		if set := e.directed[source]; set != nil {
+			blocked = set[target.Addr]
+		}
+	}
+	if blocked {
+		e.stats.DirectionalDrop++
+	}
+	e.mu.Unlock()
+	if blocked {
+		return orb.Errorf(orb.CodeTransport, "chaos: message %s -> %s/%s.%s dropped (one-way partition)", source, target.Addr, key, op)
+	}
+	return nil
+}
+
+// SchedulePartitionDirected drops the cross product from×to after `from`
+// elapses and heals the rules after `until` (both relative to now). A zero
+// or negative `until` leaves the rules in place forever.
+func (e *Engine) SchedulePartitionDirected(fromAddrs, toAddrs []string, from, until time.Duration) {
+	e.At(from, func() {
+		for _, f := range fromAddrs {
+			for _, t := range toAddrs {
+				e.IsolateDirected(f, t)
+			}
+		}
+		if until > from {
+			e.At(until-from, func() {
+				for _, f := range fromAddrs {
+					for _, t := range toAddrs {
+						e.HealDirected(f, t)
+					}
+				}
+			})
+		}
+	})
+}
+
+// sourceInvoker stamps a fixed source address onto every invocation so the
+// engine can apply directional rules the target-only interceptor cannot.
+type sourceInvoker struct {
+	e      *Engine
+	source string
+	next   orb.Invoker
+}
+
+// SourceInvoker wraps next so every Invoke first passes CheckSend with the
+// given source address. Components that participate in one-way partitions
+// (election peers, the GRM replicator) invoke through this wrapper.
+func (e *Engine) SourceInvoker(source string, next orb.Invoker) orb.Invoker {
+	return &sourceInvoker{e: e, source: source, next: next}
+}
+
+func (s *sourceInvoker) Invoke(ref orb.ObjectRef, op string, arg []byte) ([]byte, error) {
+	if err := s.e.CheckSend(s.source, ref.Endpoint, ref.Key, op); err != nil {
+		return nil, err
+	}
+	return s.next.Invoke(ref, op, arg)
 }
 
 // RegisterNode associates crash/restart hooks with a node id so schedules

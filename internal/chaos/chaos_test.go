@@ -164,6 +164,99 @@ func TestPartitionIsolatesEndpoint(t *testing.T) {
 	}
 }
 
+func TestDirectionalPartitionIsOneWay(t *testing.T) {
+	r := newRig(t, 7)
+	src := r.engine.SourceInvoker("peer-a", r.orb)
+
+	// Block peer-a -> svc only. peer-a's sends fail; an unwrapped caller
+	// (any other source) still reaches the servant, and so does traffic from
+	// a different wrapped source.
+	r.engine.IsolateDirected("peer-a", "svc")
+	if !r.engine.OutboundBlocked("peer-a", "svc") {
+		t.Fatal("OutboundBlocked(peer-a, svc) = false")
+	}
+	if r.engine.OutboundBlocked("svc", "peer-a") {
+		t.Fatal("reverse direction blocked")
+	}
+	if _, err := src.Invoke(r.ref, "ping", nil); !orb.IsCode(err, orb.CodeTransport) {
+		t.Fatalf("directed invoke = %v", err)
+	}
+	if r.calls.Load() != 0 {
+		t.Fatal("directed drop reached servant")
+	}
+	if _, err := r.orb.Invoke(r.ref, "ping", nil); err != nil {
+		t.Fatalf("other-source invoke: %v", err)
+	}
+	other := r.engine.SourceInvoker("peer-b", r.orb)
+	if _, err := other.Invoke(r.ref, "ping", nil); err != nil {
+		t.Fatalf("peer-b invoke: %v", err)
+	}
+	if r.calls.Load() != 2 {
+		t.Fatalf("servant calls = %d, want 2", r.calls.Load())
+	}
+	if s := r.engine.Stats(); s.DirectionalDrop != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+
+	r.engine.HealDirected("peer-a", "svc")
+	if _, err := src.Invoke(r.ref, "ping", nil); err != nil {
+		t.Fatalf("healed directed invoke: %v", err)
+	}
+}
+
+func TestIsolateOutboundDropsAllSends(t *testing.T) {
+	r := newRig(t, 7)
+	src := r.engine.SourceInvoker("peer-a", r.orb)
+
+	r.engine.IsolateOutbound("peer-a")
+	if _, err := src.Invoke(r.ref, "ping", nil); !orb.IsCode(err, orb.CodeTransport) {
+		t.Fatalf("outbound invoke = %v", err)
+	}
+	// Inbound traffic to svc is untouched: the partition is one-way.
+	if _, err := r.orb.Invoke(r.ref, "ping", nil); err != nil {
+		t.Fatalf("inbound invoke: %v", err)
+	}
+	r.engine.HealOutbound("peer-a")
+	if _, err := src.Invoke(r.ref, "ping", nil); err != nil {
+		t.Fatalf("healed outbound invoke: %v", err)
+	}
+	if s := r.engine.Stats(); s.DirectionalDrop != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestHealAllClearsDirectionalRules(t *testing.T) {
+	r := newRig(t, 7)
+	r.engine.Isolate("svc")
+	r.engine.IsolateOutbound("peer-a")
+	r.engine.IsolateDirected("peer-a", "svc")
+	r.engine.HealAll()
+	if r.engine.Isolated("svc") {
+		t.Fatal("symmetric partition survived HealAll")
+	}
+	if r.engine.OutboundBlocked("peer-a", "svc") {
+		t.Fatal("directional rule survived HealAll")
+	}
+}
+
+func TestSchedulePartitionDirected(t *testing.T) {
+	r := newRig(t, 7)
+	src := r.engine.SourceInvoker("peer-a", r.orb)
+	r.engine.SchedulePartitionDirected([]string{"peer-a"}, []string{"svc"}, time.Minute, 2*time.Minute)
+
+	if _, err := src.Invoke(r.ref, "ping", nil); err != nil {
+		t.Fatalf("before window: %v", err)
+	}
+	r.clock.Advance(90 * time.Second) // t=1m30s: rule active
+	if _, err := src.Invoke(r.ref, "ping", nil); !orb.IsCode(err, orb.CodeTransport) {
+		t.Fatalf("inside window = %v", err)
+	}
+	r.clock.Advance(time.Minute) // t=2m30s: healed
+	if _, err := src.Invoke(r.ref, "ping", nil); err != nil {
+		t.Fatalf("after window: %v", err)
+	}
+}
+
 func TestFaultMatchScoping(t *testing.T) {
 	r := newRig(t, 7)
 	// A fault scoped to a different op leaves this traffic untouched.

@@ -301,12 +301,15 @@ type Cluster struct {
 	grmOpts      []grm.Option // retained for standby / cold-rebuild incarnations
 
 	// mgmtMu guards the swappable manager identity: the active manager
-	// incarnation, the warm standby (nil when none) and the incarnation
-	// counter. Held only for field swaps, never across RPCs.
-	mgmtMu  sync.Mutex
-	mgr     *manager
-	standby *manager
-	gen     int
+	// incarnation, the warm standby (nil when none), the consensus replica
+	// set (empty when none) and the incarnation counter. Held only for field
+	// swaps, never across RPCs.
+	mgmtMu   sync.Mutex
+	mgr      *manager
+	standby  *manager
+	replicas []*manager
+	deposed  []*manager // live-but-demoted primaries awaiting teardown
+	gen      int
 
 	// mu guards nodes, lrms and seq. stop() halts the LRMs and FailNode
 	// crashes a node (which releases its ledger reservations) under it, so
@@ -428,11 +431,22 @@ func (c *Cluster) Tool() *asct.Tool {
 
 func (c *Cluster) stop() {
 	c.mgmtMu.Lock()
-	mgr, standby := c.mgr, c.standby
+	members := append([]*manager{c.mgr}, c.replicas...)
+	members = append(members, c.deposed...)
+	if c.standby != nil {
+		members = append(members, c.standby)
+	}
 	c.mgmtMu.Unlock()
-	mgr.grm.Stop()
-	if standby != nil {
-		standby.grm.Stop()
+	seen := make(map[*manager]bool, len(members))
+	for _, m := range members {
+		if m == nil || seen[m] {
+			continue
+		}
+		seen[m] = true
+		if m.elect != nil {
+			m.elect.Stop()
+		}
+		m.grm.Stop()
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -543,15 +557,33 @@ func (c *Cluster) AddNodes(cfg NodeConfig) ([]string, error) {
 		// The LRM re-resolves its GRM through Naming (over the ORB, so the
 		// lookup is subject to the same faults as any call) after repeated
 		// update failures — the cluster self-heals around a dead manager.
+		// Successive attempts rotate through the directory answer plus the
+		// consensus replica set, so a node finds the new leader even while
+		// Naming still points at a dead or deposed one.
 		nclient := naming.NewClient(g.orb, g.namingRef)
 		name := grmName(c.id)
 		mgr := c.manager()
+		var resolveMu sync.Mutex
+		attempt := 0
 		l := lrm.New(n, g.clock, g.orb, selfRef, mgr.grmRef,
 			lrm.WithUpdatePeriod(c.updatePeriod),
 			lrm.WithGUPA(gupa.NewClient(g.orb, mgr.gupaRef)),
 			lrm.WithLogger(g.log),
 			lrm.WithGRMResolver(func() (orb.ObjectRef, error) {
-				return nclient.Resolve(name)
+				cands := make([]orb.ObjectRef, 0, 4)
+				named, err := nclient.Resolve(name)
+				if err == nil {
+					cands = append(cands, named)
+				}
+				cands = append(cands, c.replicaRefs()...)
+				if len(cands) == 0 {
+					return orb.ObjectRef{}, err
+				}
+				resolveMu.Lock()
+				k := attempt % len(cands)
+				attempt++
+				resolveMu.Unlock()
+				return cands[k], nil
 			}),
 		)
 		if err := adapter.Register(protocol.LRMKey, l.Servant()); err != nil {

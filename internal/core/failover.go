@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"integrade/internal/bsp"
+	"integrade/internal/election"
 	"integrade/internal/grm"
 	"integrade/internal/gupa"
 	"integrade/internal/hierarchy"
@@ -28,9 +29,13 @@ type manager struct {
 	gupaSvc *gupa.Service
 	hnode   *hierarchy.Node
 	ep      string // loopback endpoint name (also the chaos-isolation addr)
+	adapter *orb.Adapter
 	grmRef  orb.ObjectRef
 	gupaRef orb.ObjectRef
 	href    orb.ObjectRef
+	// elect is this incarnation's consensus node when the cluster runs a
+	// replica set (nil otherwise).
+	elect *election.Node
 }
 
 // grmName is a cluster manager's well-known Naming path.
@@ -48,7 +53,11 @@ func (c *Cluster) buildManager(gen int) (*manager, error) {
 		rngName = fmt.Sprintf("grm-%s-g%d", c.id, gen)
 	}
 	m := &manager{ep: ep}
-	m.grm = grm.New(c.id, g.clock, g.orb, append([]grm.Option{
+	// The manager's outbound traffic — placements, cancels, replication — is
+	// source-stamped so chaos one-way partitions can sever, say, just the
+	// replication link while the data plane stays up (the split-brain cases
+	// in bench E13 and the consensus suite).
+	m.grm = grm.New(c.id, g.clock, &sourceInvoker{g: g, source: ep}, append([]grm.Option{
 		grm.WithRNG(g.rng.Fork(rngName)),
 		grm.WithLogger(g.log),
 		grm.WithEvictionObserver(g.abortBSP),
@@ -57,6 +66,7 @@ func (c *Cluster) buildManager(gen int) (*manager, error) {
 	m.hnode = hierarchy.NewNode(m.grm, g.orb)
 
 	adapter := orb.NewAdapter()
+	m.adapter = adapter
 	if err := adapter.Register(protocol.GRMKey, m.grm.Servant()); err != nil {
 		return nil, err
 	}
@@ -117,12 +127,46 @@ func (c *Cluster) Standby() *grm.GRM {
 	return c.standby.grm
 }
 
+// ManagerEndpoint returns the active manager's loopback endpoint name — the
+// address chaos partitions and directional rules operate on.
+func (c *Cluster) ManagerEndpoint() string {
+	c.mgmtMu.Lock()
+	defer c.mgmtMu.Unlock()
+	return c.mgr.ep
+}
+
+// StandbyEndpoint returns the warm standby's endpoint name, or "" when no
+// standby is armed.
+func (c *Cluster) StandbyEndpoint() string {
+	c.mgmtMu.Lock()
+	defer c.mgmtMu.Unlock()
+	if c.standby == nil {
+		return ""
+	}
+	return c.standby.ep
+}
+
+// crashManager kills one manager incarnation: its election node (if any) and
+// timers stop, its endpoint disappears, and every call to it fails with a
+// transport error.
+func (g *Grid) crashManager(c *Cluster, mgr *manager) {
+	if mgr.elect != nil {
+		mgr.elect.Stop()
+	}
+	mgr.grm.Stop()
+	g.orb.Loopback().Unbind(mgr.ep)
+	if e := g.Chaos(); e != nil {
+		e.Isolate(mgr.ep)
+	}
+	g.log.Info("GRM crashed", "cluster", c.id, "endpoint", mgr.ep)
+}
+
 // CrashGRM kills a cluster's active manager with no warning: its timers
 // stop, its endpoint disappears, and every call to it — LRM updates, status
 // queries, replication acks — fails with a transport error. Detection and
-// recovery are entirely up to the standby monitor and the LRMs'
-// re-registration loops. The chaos hook for experiment E13 and the failover
-// tests.
+// recovery are entirely up to the standby monitor, the election (when a
+// replica set is armed) and the LRMs' re-registration loops. The chaos hook
+// for experiment E13 and the failover tests.
 func (g *Grid) CrashGRM(clusterID string) error {
 	c, ok := g.Cluster(clusterID)
 	if !ok {
@@ -131,39 +175,48 @@ func (g *Grid) CrashGRM(clusterID string) error {
 	c.mgmtMu.Lock()
 	mgr := c.mgr
 	c.mgmtMu.Unlock()
-	mgr.grm.Stop()
-	g.orb.Loopback().Unbind(mgr.ep)
-	if e := g.Chaos(); e != nil {
-		e.Isolate(mgr.ep)
-	}
-	g.log.Info("GRM crashed", "cluster", clusterID, "endpoint", mgr.ep)
+	g.crashManager(c, mgr)
 	return nil
 }
 
 // PromoteGRM forces an immediate failover: the active manager is crashed and
 // the standby promotes without waiting for its heartbeat monitor to time the
 // primary out. It is an error when no standby is armed.
+//
+// The standby and the primary are snapshotted under one lock section: reading
+// them in separate critical sections (as CrashGRM would) races the silence
+// monitor's concurrent promotion, which swaps mgr/standby between the reads —
+// the crash would then hit the freshly promoted manager instead of the dead
+// primary, firing the promotion path twice.
 func (g *Grid) PromoteGRM(clusterID string) error {
 	c, ok := g.Cluster(clusterID)
 	if !ok {
 		return fmt.Errorf("core: unknown cluster %q", clusterID)
 	}
 	c.mgmtMu.Lock()
-	sb := c.standby
+	sb, mgr := c.standby, c.mgr
 	c.mgmtMu.Unlock()
 	if sb == nil {
 		return fmt.Errorf("core: cluster %q has no standby", clusterID)
 	}
-	if err := g.CrashGRM(clusterID); err != nil {
-		return err
-	}
-	sb.grm.Promote() // fires OnPromote -> promoteStandby
+	g.crashManager(c, mgr)
+	sb.grm.Promote() // fires OnPromote -> promoteStandby; single-flight
 	return nil
 }
 
 // promoteStandby is the OnPromote callback: the standby has already switched
 // role and started scheduling; here the grid swaps it in as the cluster's
 // active manager and re-points Naming and the hierarchy at it.
+//
+// The deposed primary is NOT stopped here. The promotion fired because the
+// replication stream went silent — usually a dead primary, but possibly a
+// partition, and across a partition no one can reach the old incarnation to
+// fence it. Stopping it through a direct in-process handle would grant the
+// simulation a power a real deployment lacks and hide the silence-monitor's
+// split-brain window (bench E13's warm/partition row measures exactly the
+// writes a deposed-but-alive primary still gets accepted; the consensus
+// replica set closes that window with fencing epochs). The deposed manager
+// is tracked so Cluster teardown still reaps its timers.
 func (c *Cluster) promoteStandby() {
 	c.mgmtMu.Lock()
 	sb := c.standby
@@ -174,9 +227,9 @@ func (c *Cluster) promoteStandby() {
 	old := c.mgr
 	c.mgr = sb
 	c.standby = nil
+	c.deposed = append(c.deposed, old)
 	c.mgmtMu.Unlock()
 
-	old.grm.Stop() // idempotent; the primary is usually already dead
 	c.grid.rebindManager(c, sb)
 	c.grid.log.Info("standby GRM promoted", "cluster", c.id, "endpoint", sb.ep)
 }

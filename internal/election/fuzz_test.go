@@ -1,0 +1,50 @@
+package election
+
+import (
+	"testing"
+
+	"integrade/internal/orb"
+	"integrade/internal/sim"
+)
+
+// FuzzAppendEntries drives arbitrary bytes through the peer-facing servant:
+// a corrupt AppendEntries or RequestVote payload from a compromised or
+// buggy peer must surface as a decode error, never a panic or an
+// out-of-range log access on the receiving member.
+func FuzzAppendEntries(f *testing.F) {
+	// Seed with well-formed frames of both ops, including a log suffix.
+	var e1 orb.Encoder
+	encodeAppendEntries(&e1, appendEntries{
+		Term: 3, Leader: "m1", PrevLogIndex: 1, PrevLogTerm: 1,
+		Entries:      []entry{{Term: 3, Data: []byte("batch")}},
+		LeaderCommit: 1,
+	})
+	f.Add(e1.Bytes(), true)
+	var e2 orb.Encoder
+	encodeRequestVote(&e2, requestVote{Term: 2, Candidate: "m2", LastLogIndex: 4, LastLogTerm: 1})
+	f.Add(e2.Bytes(), false)
+	f.Add([]byte{}, true)
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}, true)
+
+	f.Fuzz(func(t *testing.T, data []byte, asAppend bool) {
+		clock := sim.NewVirtualClock()
+		n := NewNode(Config{
+			ID:    "m0",
+			Clock: clock,
+			RNG:   sim.NewRNG(1),
+			Inv:   orb.New(),
+		})
+		n.Start()
+		defer n.Stop()
+		// Give the node a short log so conflict/truncation paths execute.
+		n.mu.Lock()
+		n.entries = []entry{{Term: 1, Data: []byte("a")}, {Term: 1, Data: []byte("b")}}
+		n.mu.Unlock()
+		sv := n.Servant()
+		op := OpRequestVote
+		if asAppend {
+			op = OpAppendEntries
+		}
+		_, _ = sv.Dispatch(op, orb.NewDecoder(data))
+	})
+}

@@ -1,0 +1,29 @@
+package election
+
+import (
+	"integrade/internal/orb"
+)
+
+// Servant exposes the node's peer-facing interface. Register it under
+// ObjectKey on the same adapter as the member's other servants.
+func (n *Node) Servant() orb.Servant {
+	return orb.NewOpMux().
+		Handle(OpRequestVote, func(_ string, req *orb.Decoder) (*orb.Encoder, error) {
+			rv, err := decodeRequestVote(req)
+			if err != nil {
+				return nil, orb.Errorf(orb.CodeMarshal, "requestVote: %v", err)
+			}
+			var e orb.Encoder
+			encodeVoteReply(&e, n.handleRequestVote(rv))
+			return &e, nil
+		}).
+		Handle(OpAppendEntries, func(_ string, req *orb.Decoder) (*orb.Encoder, error) {
+			ae, err := decodeAppendEntries(req)
+			if err != nil {
+				return nil, orb.Errorf(orb.CodeMarshal, "appendEntries: %v", err)
+			}
+			var e orb.Encoder
+			encodeAppendReply(&e, n.handleAppend(ae))
+			return &e, nil
+		})
+}

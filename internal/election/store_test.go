@@ -1,0 +1,74 @@
+package election
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFileStoreRoundTrip(t *testing.T) {
+	fs, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if term, vote, err := fs.Load(); err != nil || term != 0 || vote != "" {
+		t.Fatalf("fresh Load = %d %q %v", term, vote, err)
+	}
+	if err := fs.Save(7, "m2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Save(9, "m0"); err != nil {
+		t.Fatal(err)
+	}
+	term, vote, err := fs.Load()
+	if err != nil || term != 9 || vote != "m0" {
+		t.Fatalf("Load = %d %q %v", term, vote, err)
+	}
+}
+
+func TestFileStoreCorruptFallsBackToPrev(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Save(3, "m1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Save(4, "m2"); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the current epoch: the previous one must be served instead.
+	path := filepath.Join(dir, stateFileName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	term, vote, err := fs.Load()
+	if err != nil || term != 3 || vote != "m1" {
+		t.Fatalf("fallback Load = %d %q %v", term, vote, err)
+	}
+
+	// With both epochs corrupt, Load must fail rather than invent state.
+	if err := os.WriteFile(path+prevSuffix, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := fs.Load(); err == nil {
+		t.Fatal("Load succeeded with both epochs corrupt")
+	}
+}
+
+func TestMemoryStoreRoundTrip(t *testing.T) {
+	st := NewMemoryStore()
+	if err := st.Save(2, "x"); err != nil {
+		t.Fatal(err)
+	}
+	term, vote, err := st.Load()
+	if err != nil || term != 2 || vote != "x" {
+		t.Fatalf("Load = %d %q %v", term, vote, err)
+	}
+}

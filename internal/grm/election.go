@@ -1,0 +1,122 @@
+package grm
+
+import (
+	"integrade/internal/election"
+	"integrade/internal/orb"
+)
+
+// UseElection puts this GRM under consensus management: role transitions are
+// driven by the election node's OnLeader/OnFollower callbacks (wired to
+// LeadAt/FollowAt by the caller), replication batches become quorum-acked log
+// entries, and the silence-based promotion monitor stands down. Call before
+// Start, on every replica of the set.
+func (g *GRM) UseElection(en *election.Node) {
+	g.mu.Lock()
+	g.elect = en
+	g.mu.Unlock()
+}
+
+// Election returns the consensus node managing this GRM (nil when unmanaged).
+func (g *GRM) Election() *election.Node {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.elect
+}
+
+// LeadAt is the OnLeader transition: the replica becomes the active primary
+// at the given term, adopts the term as its fencing epoch, primes a
+// quorum-replicating stream with a full state snapshot (so followers that
+// joined late converge) and starts the scheduler. Idempotent per term.
+func (g *GRM) LeadAt(term int) {
+	now := g.clock.Now()
+	g.mu.Lock()
+	if g.stopped || (g.role == RolePrimary && g.epoch >= term) {
+		g.mu.Unlock()
+		return
+	}
+	wasStandby := g.role == RoleStandby
+	g.role = RolePrimary
+	g.promoting = false
+	if term > g.epoch {
+		g.epoch = term
+	}
+	if wasStandby {
+		g.stats.Promotions++
+		// Same grace period as Promote: liveness dates from the old leader's
+		// last batch, so without a reset the first detector pass would evict
+		// every node before its LRM re-registers.
+		for _, lv := range g.nodes {
+			lv.lastSeen = now
+		}
+	}
+	elect := g.elect
+	g.mu.Unlock()
+
+	if elect != nil {
+		repl := newQuorumReplicator(g, g.replEvery, func(data []byte) error {
+			_, _, err := elect.Propose(data)
+			return err
+		})
+		g.mu.Lock()
+		old := g.repl
+		g.repl = repl
+		for _, id := range sortedNodeIDsLocked(g.nodes) {
+			if lv := g.nodes[id]; lv.updates > 0 {
+				repl.enqueueNode(lv.status)
+			}
+		}
+		for _, id := range sortedAppIDsLocked(g.apps) {
+			repl.enqueueApp(buildAppRecordLocked(g.apps[id]))
+		}
+		repl.setSeq(g.seq)
+		g.mu.Unlock()
+		if old != nil {
+			old.stop()
+		}
+		repl.start()
+	}
+	g.Start()
+}
+
+// FollowAt is the OnFollower transition: the replica (possibly a deposed
+// leader) becomes a passive standby, adopts the term as its fencing floor and
+// tears down any outbound replication stream. The scheduler timer keeps
+// ticking but SchedulePending no-ops while not primary, so a stale timer on a
+// deposed leader places nothing.
+func (g *GRM) FollowAt(term int) {
+	g.mu.Lock()
+	if term > g.epoch {
+		g.epoch = term
+	}
+	g.role = RoleStandby
+	g.promoting = false
+	repl := g.repl
+	g.repl = nil
+	g.mu.Unlock()
+	if repl != nil {
+		repl.stop()
+	}
+}
+
+// ApplyReplicaEntry is the election Apply callback: one quorum-committed log
+// entry, carrying an encoded replicaBatch. A corrupt entry from a buggy or
+// hostile peer is counted and dropped, never a panic. The leader proposed the
+// batch itself, so only followers mirror the state; epoch enforcement is
+// skipped because the log already ordered the entry under the leader's term.
+func (g *GRM) ApplyReplicaEntry(index, term int, data []byte) {
+	b, err := decodeReplicaBatch(orb.NewDecoder(data))
+	if err != nil {
+		g.mu.Lock()
+		g.stats.ReplicaDecodeFailures++
+		g.mu.Unlock()
+		g.log.Debug("replica log entry undecodable", "index", index, "term", term, "err", err)
+		return
+	}
+	g.mu.Lock()
+	g.stats.QuorumBatches++
+	leader := g.role == RolePrimary
+	g.mu.Unlock()
+	if !leader {
+		g.applyReplica(b, false)
+	}
+}

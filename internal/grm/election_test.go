@@ -1,0 +1,212 @@
+package grm_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"integrade/internal/election"
+	"integrade/internal/grm"
+	"integrade/internal/orb"
+	"integrade/internal/protocol"
+	"integrade/internal/sim"
+)
+
+// replicaSet is a consensus-managed GRM replica set on one loopback ORB:
+// every member hosts its GRM servant and its election servant on the same
+// adapter, and role transitions flow from the election node into the GRM.
+type replicaSet struct {
+	clock *sim.VirtualClock
+	o     *orb.ORB
+	grms  []*grm.GRM
+	refs  []orb.ObjectRef // GRM refs, index-aligned with grms
+}
+
+func newReplicaSet(t *testing.T, n int) *replicaSet {
+	t.Helper()
+	clock := sim.NewVirtualClock()
+	o := orb.New()
+	rs := &replicaSet{clock: clock, o: o}
+
+	ids := make([]string, n)
+	adapters := make([]*orb.Adapter, n)
+	peers := make(map[string]orb.ObjectRef, n)
+	for i := 0; i < n; i++ {
+		ids[i] = "m" + string(rune('0'+i))
+		adapters[i] = orb.NewAdapter()
+		ep, err := o.BindLoopback(ids[i], adapters[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		peers[ids[i]] = orb.ObjectRef{Endpoint: ep, Key: election.ObjectKey}
+		rs.refs = append(rs.refs, orb.ObjectRef{Endpoint: ep, Key: protocol.GRMKey})
+	}
+
+	var nodes []*election.Node
+	for i := 0; i < n; i++ {
+		g := grm.New("test", clock, o,
+			grm.WithSchedulePeriod(15*time.Second),
+			grm.WithReplicationInterval(5*time.Second))
+		en := election.NewNode(election.Config{
+			ID:         ids[i],
+			Peers:      peers,
+			Clock:      clock,
+			RNG:        sim.NewRNG(int64(40 + i)),
+			Inv:        o,
+			Apply:      g.ApplyReplicaEntry,
+			OnLeader:   g.LeadAt,
+			OnFollower: func(term int, leader string) { g.FollowAt(term) },
+			Bootstrap:  i == 0,
+		})
+		g.UseElection(en)
+		if i != 0 {
+			g.FollowAt(0) // non-bootstrap replicas start passive
+		}
+		if err := adapters[i].Register(protocol.GRMKey, g.Servant()); err != nil {
+			t.Fatal(err)
+		}
+		if err := adapters[i].Register(election.ObjectKey, en.Servant()); err != nil {
+			t.Fatal(err)
+		}
+		rs.grms = append(rs.grms, g)
+		nodes = append(nodes, en)
+		t.Cleanup(g.Stop)
+		t.Cleanup(en.Stop)
+	}
+	// Followers first so the bootstrap leader's opening round reaches them.
+	for i := n - 1; i >= 0; i-- {
+		nodes[i].Start()
+	}
+	return rs
+}
+
+func (rs *replicaSet) leaderIdx(t *testing.T) int {
+	t.Helper()
+	idx := -1
+	for i, g := range rs.grms {
+		if g.Role() == grm.RolePrimary {
+			if idx >= 0 {
+				t.Fatalf("two primaries: %d and %d", idx, i)
+			}
+			idx = i
+		}
+	}
+	if idx < 0 {
+		t.Fatal("no primary in replica set")
+	}
+	return idx
+}
+
+// TestElectionReplicaSetFailover drives the consensus control plane end to
+// end: the bootstrap member leads term 1 and fences its writes with it, state
+// reaches the followers only through quorum-acked log entries, and killing
+// the leader yields exactly one successor at a higher term with the state
+// intact.
+func TestElectionReplicaSetFailover(t *testing.T) {
+	rs := newReplicaSet(t, 3)
+	g0 := rs.grms[0]
+	if got := rs.leaderIdx(t); got != 0 {
+		t.Fatalf("bootstrap leader = m%d", got)
+	}
+	if got := g0.Epoch(); got != 1 {
+		t.Fatalf("leader epoch = %d, want 1", got)
+	}
+
+	// A follower refuses Information Update messages so LRMs re-resolve.
+	if _, err := protocol.NewGRMClient(rs.o, rs.refs[1]).Update(protocol.NodeStatus{NodeID: "n0"}); err == nil {
+		t.Fatal("follower accepted an update")
+	}
+	if got := rs.grms[1].Stats().UpdatesRefused; got != 1 {
+		t.Fatalf("UpdatesRefused = %d, want 1", got)
+	}
+
+	// State flows leader -> quorum log -> followers.
+	id, err := protocol.NewGRMClient(rs.o, rs.refs[0]).Submit(sequentialSpec("quorum-app", 600_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs.clock.Advance(15 * time.Second)
+	if got := g0.Stats().QuorumBatches; got < 1 {
+		t.Fatalf("leader QuorumBatches = %d", got)
+	}
+	for i := 1; i < 3; i++ {
+		if _, err := rs.grms[i].AppStatus(id); err != nil {
+			t.Fatalf("follower m%d missing app: %v", i, err)
+		}
+		if got := rs.grms[i].Stats().ReplicaBatches; got < 1 {
+			t.Fatalf("follower m%d ReplicaBatches = %d", i, got)
+		}
+	}
+
+	// Kill the leader; the survivors elect exactly one successor.
+	g0.Election().Stop()
+	g0.Stop()
+	rs.clock.Advance(time.Minute)
+	next := -1
+	for i := 1; i < 3; i++ {
+		if rs.grms[i].Role() == grm.RolePrimary {
+			if next >= 0 {
+				t.Fatalf("two successors: m%d and m%d", next, i)
+			}
+			next = i
+		}
+	}
+	if next < 0 {
+		t.Fatal("no successor elected")
+	}
+	ng := rs.grms[next]
+	if got := ng.Epoch(); got < 2 {
+		t.Fatalf("successor epoch = %d, want >= 2", got)
+	}
+	if got := ng.Stats().Promotions; got != 1 {
+		t.Fatalf("successor Promotions = %d, want 1", got)
+	}
+	if _, err := ng.AppStatus(id); err != nil {
+		t.Fatalf("successor lost app: %v", err)
+	}
+
+	// At most one leader per term across the whole set.
+	won := map[int]string{}
+	for i, g := range rs.grms {
+		en := g.Election()
+		for _, term := range en.WonTerms() {
+			if other, dup := won[term]; dup {
+				t.Fatalf("term %d won by both %s and m%d", term, other, i)
+			}
+			won[term] = en.ID()
+		}
+	}
+}
+
+// TestPromoteSingleFlight is the regression test for the promotion race: a
+// manual Promote racing the silence monitor's own call (here: eight
+// concurrent callers) must fire OnPromote exactly once.
+func TestPromoteSingleFlight(t *testing.T) {
+	c := newCluster(t, dedicated(1, 1000))
+	var fired atomic.Int32
+	sb := attachStandby(t, c, "test", "standby", grm.StandbyConfig{
+		OnPromote: func() { fired.Add(1) },
+	})
+	c.clock.Advance(30 * time.Second)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sb.Promote()
+		}()
+	}
+	wg.Wait()
+
+	if got := fired.Load(); got != 1 {
+		t.Fatalf("OnPromote fired %d times, want 1", got)
+	}
+	if got := sb.Stats().Promotions; got != 1 {
+		t.Fatalf("Promotions = %d, want 1", got)
+	}
+	if sb.Role() != grm.RolePrimary {
+		t.Fatalf("role = %v after promote", sb.Role())
+	}
+}

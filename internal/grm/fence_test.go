@@ -1,0 +1,95 @@
+package grm
+
+import (
+	"testing"
+
+	"integrade/internal/orb"
+	"integrade/internal/sim"
+)
+
+// TestStaleReplicaBatchRejected exercises the direct-stream fencing rule: a
+// standby that has seen epoch E drops batches fenced below E, adopts higher
+// epochs, and keeps accepting epoch-0 batches from legacy unfenced primaries.
+func TestStaleReplicaBatchRejected(t *testing.T) {
+	clock := sim.NewVirtualClock()
+	g := New("test", clock, orb.New())
+	g.BecomeStandby(StandbyConfig{})
+	defer g.Stop()
+
+	batch := func(epoch int, appID string) replicaBatch {
+		return replicaBatch{
+			ClusterID: "test",
+			Epoch:     epoch,
+			Apps:      []appRecord{{ID: appID}},
+		}
+	}
+
+	g.HandleReplica(batch(5, "app-cur"))
+	if got := g.Epoch(); got != 5 {
+		t.Fatalf("epoch after batch = %d, want 5", got)
+	}
+	if _, err := g.AppStatus("app-cur"); err != nil {
+		t.Fatalf("current-epoch batch not applied: %v", err)
+	}
+
+	g.HandleReplica(batch(3, "app-stale"))
+	if _, err := g.AppStatus("app-stale"); err == nil {
+		t.Fatal("stale-epoch batch was applied")
+	}
+	if got := g.Stats().StaleBatchesRejected; got != 1 {
+		t.Fatalf("StaleBatchesRejected = %d, want 1", got)
+	}
+
+	g.HandleReplica(batch(0, "app-legacy"))
+	if _, err := g.AppStatus("app-legacy"); err != nil {
+		t.Fatalf("legacy epoch-0 batch rejected: %v", err)
+	}
+
+	g.HandleReplica(batch(9, "app-next"))
+	if got := g.Epoch(); got != 9 {
+		t.Fatalf("epoch not adopted: %d, want 9", got)
+	}
+}
+
+// TestApplyReplicaEntryDropsGarbage: a corrupt quorum log entry is counted
+// and dropped, never applied and never a panic.
+func TestApplyReplicaEntryDropsGarbage(t *testing.T) {
+	clock := sim.NewVirtualClock()
+	g := New("test", clock, orb.New())
+	g.BecomeStandby(StandbyConfig{})
+	defer g.Stop()
+
+	g.ApplyReplicaEntry(1, 1, []byte{0xff, 0xfe, 0xfd})
+	if got := g.Stats().ReplicaDecodeFailures; got != 1 {
+		t.Fatalf("ReplicaDecodeFailures = %d, want 1", got)
+	}
+
+	var e orb.Encoder
+	replicaBatch{ClusterID: "test", Apps: []appRecord{{ID: "app-log"}}}.encode(&e)
+	g.ApplyReplicaEntry(2, 1, e.Bytes())
+	if _, err := g.AppStatus("app-log"); err != nil {
+		t.Fatalf("valid log entry not applied: %v", err)
+	}
+	if got := g.Stats().QuorumBatches; got != 1 {
+		t.Fatalf("QuorumBatches = %d, want 1", got)
+	}
+}
+
+// TestReplicaBatchRoundTrip pins the wire format, including the epoch field.
+func TestReplicaBatchRoundTrip(t *testing.T) {
+	in := replicaBatch{
+		ClusterID: "test",
+		Seq:       7,
+		Epoch:     3,
+		Apps:      []appRecord{{ID: "app-1"}},
+	}
+	var e orb.Encoder
+	in.encode(&e)
+	out, err := decodeReplicaBatch(orb.NewDecoder(e.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ClusterID != in.ClusterID || out.Seq != in.Seq || out.Epoch != in.Epoch || len(out.Apps) != 1 {
+		t.Fatalf("round trip = %+v", out)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"integrade/internal/constraint"
+	"integrade/internal/election"
 	"integrade/internal/orb"
 	"integrade/internal/protocol"
 	"integrade/internal/sim"
@@ -47,6 +48,11 @@ type Stats struct {
 	ReplicaBatches    int // replication batches applied while standby
 	Promotions        int // standby → primary transitions
 	TasksReconciled   int // orphan tasks reaped via LRM reconciliation
+	// Consensus-mode counters.
+	QuorumBatches         int // batches committed through the replicated log
+	StaleBatchesRejected  int // replica batches refused for a stale epoch
+	ReplicaDecodeFailures int // corrupt log entries dropped instead of applied
+	UpdatesRefused        int // information updates refused while not leader
 }
 
 // nodeLiveness is the failure detector's record of one node's heartbeats.
@@ -111,7 +117,8 @@ type GRM struct {
 	replEvery    time.Duration // standby replication flush cadence
 
 	// mu guards apps, nodes, seq, stats, stopped, started, timers, role,
-	// repl, onPromote and the repl* heartbeat fields. It must be released
+	// repl, onPromote, promoting, epoch, elect and the repl* heartbeat
+	// fields. It must be released
 	// before any protocol RPC (Reserve/Execute/...): negotiation blocks on
 	// remote LRMs and may itself re-enter the GRM. The replication stream
 	// obeys the same rule: enqueues under mu are lock-only (g.mu → repl.mu),
@@ -128,10 +135,17 @@ type GRM struct {
 
 	// Failover state: the role this GRM plays, the outbound replication
 	// stream (primary with a standby attached), and the standby-side
-	// heartbeat observations driving the promotion monitor.
+	// heartbeat observations driving the promotion monitor. promoting is the
+	// single-flight latch on the standby → primary transition; epoch is the
+	// fencing epoch stamped on outbound writes (the election term under
+	// consensus, 0 for a legacy unfenced manager); elect is the consensus
+	// node driving role transitions when UseElection was called.
 	role          Role
 	repl          *replicator
 	onPromote     func()
+	promoting     bool
+	epoch         int
+	elect         *election.Node
 	replLastBatch time.Time
 	replGap       time.Duration
 	replBatches   int
@@ -284,11 +298,35 @@ func (g *GRM) Stop() {
 	}
 }
 
-// HandleUpdate processes one Information Update Protocol message.
-func (g *GRM) HandleUpdate(s protocol.NodeStatus) {
+// HandleUpdate processes one Information Update Protocol message and
+// returns the manager's fencing epoch for the reply. A consensus-managed
+// replica that is not the leader refuses the update so the LRM re-resolves
+// toward the leader instead of feeding a stale view — and so does a leader
+// whose replication stream has lost its quorum: a partitioned primary that
+// kept answering updates would keep its LRMs' fences pinned to the old
+// epoch, leaving them obedient to a deposed manager.
+func (g *GRM) HandleUpdate(s protocol.NodeStatus) (int, error) {
 	now := g.clock.Now()
+	g.mu.Lock()
+	refuse := g.elect != nil && g.role != RolePrimary
+	// repl.degraded takes the replicator mutex, which nests inside g.mu
+	// (lock order g.mu -> repl.mu), same as the enqueue calls below.
+	degraded := !refuse && g.elect != nil && g.repl != nil && g.repl.degraded()
+	if refuse || degraded {
+		g.stats.UpdatesRefused++
+	}
+	elect := g.elect
+	epoch := g.epoch
+	g.mu.Unlock()
+	if refuse {
+		// elect.Leader takes the election mutex — read it outside g.mu.
+		return 0, fmt.Errorf("grm: not the leader (leader=%q)", elect.Leader())
+	}
+	if degraded {
+		return 0, fmt.Errorf("grm: leader of epoch %d lost its replication quorum", epoch)
+	}
 	if !g.exportStatusOffer(s, now) {
-		return
+		return epoch, nil
 	}
 	g.mu.Lock()
 	g.stats.UpdatesReceived++
@@ -299,7 +337,17 @@ func (g *GRM) HandleUpdate(s protocol.NodeStatus) {
 	if g.repl != nil {
 		g.repl.enqueueNode(s)
 	}
+	epoch = g.epoch
 	g.mu.Unlock()
+	return epoch, nil
+}
+
+// Epoch returns the fencing epoch stamped on this manager's outbound writes
+// (0 = unfenced legacy mode).
+func (g *GRM) Epoch() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.epoch
 }
 
 // exportStatusOffer upserts the node's trader offer from its status,
@@ -322,6 +370,9 @@ func (g *GRM) exportStatusOffer(s protocol.NodeStatus, now time.Time) bool {
 		PropOwnerBusy:     constraint.Bool(s.OwnerBusy),
 		PropPredictedIdle: constraint.Number(s.PredictedIdle.Seconds()),
 		PropUpdatedUnix:   constraint.Number(float64(s.Timestamp.Unix())),
+		// The exporting manager's fencing epoch: consumers comparing offers
+		// across a failover can spot exports from a deposed primary.
+		PropMgrEpoch: constraint.Number(float64(g.Epoch())),
 	}
 	offer := trading.Offer{
 		ServiceType: NodeStatusType,
@@ -388,8 +439,15 @@ func (g *GRM) Submit(spec protocol.ApplicationSpec) (string, error) {
 // SchedulePending runs one scheduling pass over every app with pending
 // tasks, in submission order. Each pass first runs the failure detector, so
 // tasks orphaned by a dead node re-enter the pending set and are replaced
-// in the same pass.
+// in the same pass. A non-primary replica never schedules: a deposed leader
+// with a stale timer must not race the real one.
 func (g *GRM) SchedulePending() {
+	g.mu.Lock()
+	standby := g.role != RolePrimary
+	g.mu.Unlock()
+	if standby {
+		return
+	}
 	g.detectFailures()
 	g.mu.Lock()
 	apps := make([]*appInfo, 0, len(g.apps))
@@ -464,11 +522,13 @@ func (g *GRM) placeTask(app *appInfo, t *taskInfo, exclude map[string]bool) erro
 		g.mu.Lock()
 		g.stats.NegotiationRounds++
 		app.negotiations++
+		epoch := g.epoch
 		g.mu.Unlock()
 		reply, err := lrm.Reserve(protocol.ReserveRequest{
 			Holder: app.id,
 			Amount: alloc,
 			TTL:    time.Minute,
+			Epoch:  epoch,
 		})
 		if err != nil || !reply.Granted {
 			g.mu.Lock()
@@ -483,6 +543,7 @@ func (g *GRM) placeTask(app *appInfo, t *taskInfo, exclude map[string]bool) erro
 			Work:            t.work,
 			Alloc:           alloc,
 			InitialProgress: t.initialProgress,
+			Epoch:           epoch,
 		})
 		if err != nil {
 			g.log.Debug("execute failed after grant", "task", t.id, "node", nodeID, "err", err)
@@ -540,11 +601,13 @@ func (g *GRM) reserveAndExecuteGang(app *appInfo, pending []*taskInfo, ordered [
 			g.mu.Lock()
 			g.stats.NegotiationRounds++
 			app.negotiations++
+			epoch := g.epoch
 			g.mu.Unlock()
 			reply, err := lrm.Reserve(protocol.ReserveRequest{
 				Holder: app.id,
 				Amount: alloc,
 				TTL:    time.Minute,
+				Epoch:  epoch,
 			})
 			if err != nil || !reply.Granted {
 				g.mu.Lock()
@@ -582,6 +645,7 @@ func (g *GRM) reserveAndExecuteGang(app *appInfo, pending []*taskInfo, ordered [
 			Work:            t.work,
 			Alloc:           alloc,
 			InitialProgress: t.initialProgress,
+			Epoch:           g.Epoch(),
 		})
 		if err != nil {
 			g.log.Debug("gang execute failed", "task", t.id, "node", gr.nodeID, "err", err)
@@ -736,7 +800,7 @@ func (g *GRM) evictNodeTasks(nodeID string) {
 	g.mu.Unlock()
 
 	for _, c := range cancels {
-		if _, err := protocol.NewLRMClient(g.inv, c.ref).Cancel(c.taskID); err != nil {
+		if _, err := protocol.NewLRMClient(g.inv, c.ref).Cancel(c.taskID, g.Epoch()); err != nil {
 			g.log.Debug("gang cancel RPC failed", "task", c.taskID, "err", err)
 		}
 	}
@@ -845,7 +909,7 @@ func (g *GRM) CancelApp(appID string) error {
 	g.mu.Unlock()
 
 	for _, v := range victims {
-		if _, err := protocol.NewLRMClient(g.inv, v.ref).Cancel(v.taskID); err != nil {
+		if _, err := protocol.NewLRMClient(g.inv, v.ref).Cancel(v.taskID, g.Epoch()); err != nil {
 			g.log.Debug("cancel RPC failed", "task", v.taskID, "err", err)
 		}
 	}

@@ -38,6 +38,7 @@ const (
 	PropOwnerBusy     = "owner_busy"
 	PropPredictedIdle = "predicted_idle_s"
 	PropUpdatedUnix   = "updated_unix"
+	PropMgrEpoch      = "mgr_epoch"
 )
 
 func numProp(o trading.Offer, key string) float64 {

@@ -48,10 +48,14 @@ type appRecord struct {
 
 // replicaBatch is one OpReplicate payload: the coalesced state delta since
 // the previous flush, plus the primary's app sequence counter so a promoted
-// standby never re-issues an app ID.
+// standby never re-issues an app ID. Epoch is the sender's fencing epoch; a
+// standby drops direct batches whose epoch is older than the newest it has
+// seen, so a deposed primary cannot overwrite replicated state. Zero means
+// unfenced (the legacy single-standby stream) and is always accepted.
 type replicaBatch struct {
 	ClusterID string
 	Seq       int
+	Epoch     int
 	Nodes     []protocol.NodeStatus
 	NodesGone []nodeGone
 	Apps      []appRecord
@@ -127,6 +131,7 @@ func decodeAppRecord(d *orb.Decoder) (appRecord, error) {
 func (b replicaBatch) encode(e *orb.Encoder) {
 	e.PutString(b.ClusterID)
 	e.PutInt(b.Seq)
+	e.PutInt(b.Epoch)
 	e.PutU32(uint32(len(b.Nodes)))
 	for _, s := range b.Nodes {
 		s.Encode(e)
@@ -146,6 +151,7 @@ func decodeReplicaBatch(d *orb.Decoder) (replicaBatch, error) {
 	b := replicaBatch{
 		ClusterID: d.String(),
 		Seq:       d.Int(),
+		Epoch:     d.Int(),
 	}
 	n := d.U32()
 	if err := d.Err(); err != nil {
@@ -198,25 +204,45 @@ type replicator struct {
 	g      *GRM
 	target orb.ObjectRef
 	every  time.Duration
+	// send ships one drained batch. The legacy stream encodes it into a
+	// direct OpReplicate invoke on target; the consensus stream proposes it
+	// to the election log and returns once a quorum has acknowledged it.
+	// Immutable after construction.
+	send func(replicaBatch) error
 
-	// mu guards the pending maps, seq, stats, stopped and timers.
+	// mu guards the pending maps, seq, stats, failures, stopped and timers.
 	//
-	//lint:guards nodes,nodesGone,apps,seq,stats,stopped,timers
+	//lint:guards nodes,nodesGone,apps,seq,stats,failures,stopped,timers
 	mu        sync.Mutex
 	nodes     map[string]protocol.NodeStatus
 	nodesGone map[string]orb.ObjectRef
 	apps      map[string]appRecord
 	seq       int
 	stats     ReplStats
+	failures  int // consecutive flush failures; reset by any success
 	stopped   bool
 	timers    []sim.Timer
+}
+
+// degradedAfter is how many consecutive flush failures mark the stream
+// degraded: one may be a transient fault the next pump absorbs; two in a row
+// on the consensus stream mean the leader cannot reach a quorum.
+const degradedAfter = 2
+
+// degraded reports whether the stream has failed degradedAfter consecutive
+// flushes. On the consensus stream this is the leader's signal that it has
+// lost its quorum and must stop serving writes it can no longer commit.
+func (r *replicator) degraded() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.failures >= degradedAfter
 }
 
 func newReplicator(g *GRM, target orb.ObjectRef, every time.Duration) *replicator {
 	if every <= 0 {
 		every = DefaultReplicationInterval
 	}
-	return &replicator{
+	r := &replicator{
 		g:         g,
 		target:    target,
 		every:     every,
@@ -224,6 +250,35 @@ func newReplicator(g *GRM, target orb.ObjectRef, every time.Duration) *replicato
 		nodesGone: make(map[string]orb.ObjectRef),
 		apps:      make(map[string]appRecord),
 	}
+	r.send = func(b replicaBatch) error {
+		var e orb.Encoder
+		b.encode(&e)
+		_, err := g.inv.Invoke(target, protocol.OpReplicate, e.Bytes())
+		return err
+	}
+	return r
+}
+
+// newQuorumReplicator builds the consensus-backed stream: drained batches
+// become election log entries the leader applies only after a quorum of
+// replicas has acknowledged them.
+func newQuorumReplicator(g *GRM, every time.Duration, propose func([]byte) error) *replicator {
+	if every <= 0 {
+		every = DefaultReplicationInterval
+	}
+	r := &replicator{
+		g:         g,
+		every:     every,
+		nodes:     make(map[string]protocol.NodeStatus),
+		nodesGone: make(map[string]orb.ObjectRef),
+		apps:      make(map[string]appRecord),
+	}
+	r.send = func(b replicaBatch) error {
+		var e orb.Encoder
+		b.encode(&e)
+		return propose(e.Bytes())
+	}
+	return r
 }
 
 func (r *replicator) enqueueNode(s protocol.NodeStatus) {
@@ -287,12 +342,13 @@ func (r *replicator) stop() {
 // On failure the drained entries are re-merged (unless newer state was
 // enqueued meanwhile), so a transient standby outage loses nothing.
 func (r *replicator) flush() {
+	epoch := r.g.Epoch() // before r.mu: lock order is g.mu → repl.mu
 	r.mu.Lock()
 	if r.stopped {
 		r.mu.Unlock()
 		return
 	}
-	batch := replicaBatch{ClusterID: r.g.clusterID, Seq: r.seq}
+	batch := replicaBatch{ClusterID: r.g.clusterID, Seq: r.seq, Epoch: epoch}
 	nodeIDs := make([]string, 0, len(r.nodes))
 	for id := range r.nodes {
 		nodeIDs = append(nodeIDs, id)
@@ -323,17 +379,15 @@ func (r *replicator) flush() {
 	r.nodes = make(map[string]protocol.NodeStatus)
 	r.nodesGone = make(map[string]orb.ObjectRef)
 	r.apps = make(map[string]appRecord)
-	target := r.target
 	r.mu.Unlock()
 
-	var e orb.Encoder
-	batch.encode(&e)
-	_, err := r.g.inv.Invoke(target, protocol.OpReplicate, e.Bytes())
+	err := r.send(batch)
 
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if err != nil {
 		r.stats.SendFailures++
+		r.failures++
 		// Put the delta back without clobbering anything newer.
 		for id, s := range drainedNodes {
 			if _, newer := r.nodes[id]; !newer {
@@ -356,6 +410,7 @@ func (r *replicator) flush() {
 		}
 		return
 	}
+	r.failures = 0
 	r.stats.BatchesSent++
 	r.stats.NodesSent += len(batch.Nodes)
 	r.stats.AppsSent += len(batch.Apps)

@@ -15,8 +15,13 @@ func (g *GRM) Servant() orb.Servant {
 			if err != nil {
 				return nil, orb.Errorf(orb.CodeMarshal, "update: %v", err)
 			}
-			g.HandleUpdate(s)
-			return &orb.Encoder{}, nil
+			epoch, err := g.HandleUpdate(s)
+			if err != nil {
+				return nil, orb.Errorf(orb.CodeApplication, "%s", err.Error())
+			}
+			var e orb.Encoder
+			e.PutInt(epoch)
+			return &e, nil
 		}).
 		Handle(protocol.OpSubmit, func(_ string, req *orb.Decoder) (*orb.Encoder, error) {
 			spec, err := protocol.DecodeApplicationSpec(req)

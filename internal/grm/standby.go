@@ -105,6 +105,7 @@ func (g *GRM) BecomeStandby(cfg StandbyConfig) {
 	}
 	g.mu.Lock()
 	g.role = RoleStandby
+	g.promoting = false
 	g.onPromote = cfg.OnPromote
 	g.mu.Unlock()
 
@@ -124,11 +125,14 @@ func (g *GRM) BecomeStandby(cfg StandbyConfig) {
 	arm()
 }
 
-// checkPrimary is one promotion-monitor tick.
+// checkPrimary is one promotion-monitor tick. Under consensus management the
+// monitor stands down: failover is the election's job, and a silence-based
+// unilateral promotion is exactly the split-brain the election exists to
+// prevent.
 func (g *GRM) checkPrimary() {
 	now := g.clock.Now()
 	g.mu.Lock()
-	if g.role != RoleStandby || g.replBatches < 2 {
+	if g.role != RoleStandby || g.elect != nil || g.replBatches < 2 {
 		g.mu.Unlock()
 		return
 	}
@@ -150,14 +154,17 @@ func (g *GRM) checkPrimary() {
 
 // Promote turns the standby into the active primary: the scheduler starts,
 // and the OnPromote callback fires outside all locks. Idempotent; a no-op on
-// a GRM that is already primary.
+// a GRM that is already primary. The promoting latch makes the transition
+// single-flight: a manual core.PromoteGRM racing the silence monitor's own
+// Promote must not fire OnPromote (which swaps cluster references) twice.
 func (g *GRM) Promote() {
 	now := g.clock.Now()
 	g.mu.Lock()
-	if g.role != RoleStandby || g.stopped {
+	if g.role != RoleStandby || g.stopped || g.promoting {
 		g.mu.Unlock()
 		return
 	}
+	g.promoting = true
 	g.role = RolePrimary
 	g.stats.Promotions++
 	// Grace period: the standby's liveness view dates from the last replica
@@ -178,16 +185,36 @@ func (g *GRM) Promote() {
 	}
 }
 
-// HandleReplica applies one replication batch. Batches are ignored unless
-// this GRM is a standby for the sending cluster — in particular, a deposed
-// primary that keeps streaming after the standby promoted itself cannot
-// corrupt the new primary's state.
+// HandleReplica applies one direct (OpReplicate) replication batch. Batches
+// are ignored unless this GRM is a standby for the sending cluster — in
+// particular, a deposed primary that keeps streaming after the standby
+// promoted itself cannot corrupt the new primary's state. The sender's epoch
+// is enforced: a batch fenced below the newest epoch this replica has seen
+// is dropped.
 func (g *GRM) HandleReplica(b replicaBatch) {
+	g.applyReplica(b, true)
+}
+
+// applyReplica applies one replication batch. enforceEpoch distinguishes the
+// direct OpReplicate path (stale-epoch batches rejected) from entries already
+// ordered by the consensus log, where the leader that proposed them held the
+// epoch by construction and re-checking would only race FollowAt.
+func (g *GRM) applyReplica(b replicaBatch, enforceEpoch bool) {
 	now := g.clock.Now()
 	g.mu.Lock()
 	if g.role != RoleStandby || g.stopped || b.ClusterID != g.clusterID {
 		g.mu.Unlock()
 		return
+	}
+	if enforceEpoch && b.Epoch != 0 {
+		if b.Epoch < g.epoch {
+			g.stats.StaleBatchesRejected++
+			g.mu.Unlock()
+			return
+		}
+		if b.Epoch > g.epoch {
+			g.epoch = b.Epoch
+		}
 	}
 	if g.replBatches > 0 {
 		if gap := now.Sub(g.replLastBatch); gap > 0 {

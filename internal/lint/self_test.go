@@ -82,6 +82,7 @@ func TestProtocolContractsHold(t *testing.T) {
 		"integrade/internal/grm",
 		"integrade/internal/bsp",
 		"integrade/internal/core",
+		"integrade/internal/election",
 		"integrade/internal/orb",
 		"integrade/internal/protocol",
 	} {

@@ -48,6 +48,10 @@ type Stats struct {
 	TasksStarted     int
 	TasksCompleted   int
 	TasksEvicted     int
+	// StaleEpochRejections counts writes refused because they carried a
+	// fencing epoch older than the newest this LRM has seen — the deposed
+	// primary being fenced out.
+	StaleEpochRejections int
 }
 
 // LRM is one node's local resource manager.
@@ -65,11 +69,11 @@ type LRM struct {
 	resolver     func() (orb.ObjectRef, error) // re-resolves the GRM ref; may be nil
 	reregBackoff orb.BackoffPolicy
 
-	// mu guards grm, taskApp, stats, stopped, timers, started, consecFails,
-	// rereg and reregAttempt. It must be released before GRM RPCs
-	// (Update/Notify), which block on the remote side. Snapshot collection
-	// reads the node's running set under it, so l.mu nests outside the
-	// node's lock.
+	// mu guards grm, taskApp, stats, stopped, timers, started, fence,
+	// consecFails, rereg and reregAttempt. It must be released before GRM
+	// RPCs (Update/Notify), which block on the remote side. Snapshot
+	// collection reads the node's running set under it, so l.mu nests
+	// outside the node's lock.
 	//lint:lockorder lrm.LRM.mu<node.Node.mu
 	mu      sync.Mutex
 	grm     *protocol.GRMClient
@@ -78,6 +82,10 @@ type LRM struct {
 	stopped bool
 	timers  []sim.Timer
 	started bool
+	// fence is the newest manager epoch this LRM has witnessed; writes
+	// carrying an older (non-zero) epoch come from a deposed primary and
+	// are refused. Zero epochs are the unfenced legacy protocol.
+	fence int
 	// Re-registration loop state: consecutive update failures observed, and
 	// whether the backoff-paced re-register loop is currently armed.
 	consecFails  int
@@ -229,11 +237,17 @@ func (l *LRM) GRMRef() orb.ObjectRef {
 // SendUpdate pushes one Information Update Protocol message now. Task
 // execution is synced first so the reported free capacity (and any
 // completion/eviction notifications) reflect the present. Repeated failures
-// kick off the re-registration loop when a resolver is configured.
+// — including an answer from a manager whose epoch is stale, i.e. a deposed
+// primary still reachable — kick off the re-registration loop when a
+// resolver is configured.
 func (l *LRM) SendUpdate() {
 	l.SyncTasks()
 	status := l.Status()
-	if err := l.grmClient().Update(status); err != nil {
+	epoch, err := l.grmClient().Update(status)
+	if err == nil && l.staleManager(epoch) {
+		err = orb.Errorf(orb.CodeApplication, "manager epoch %d is stale", epoch)
+	}
+	if err != nil {
 		l.log.Debug("information update failed", "node", l.node.ID(), "err", err)
 		l.mu.Lock()
 		l.stats.UpdateFailures++
@@ -252,10 +266,56 @@ func (l *LRM) SendUpdate() {
 		}
 		return
 	}
+	l.adoptEpoch(epoch)
 	l.mu.Lock()
 	l.consecFails = 0
 	l.stats.UpdatesSent++
 	l.mu.Unlock()
+}
+
+// staleManager reports whether a reply epoch identifies a deposed primary,
+// counting the rejection. Zero epochs (legacy managers) never fence.
+func (l *LRM) staleManager(epoch int) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if epoch != 0 && epoch < l.fence {
+		l.stats.StaleEpochRejections++
+		return true
+	}
+	return false
+}
+
+// adoptEpoch advances the fence to a newer manager epoch.
+func (l *LRM) adoptEpoch(epoch int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if epoch > l.fence {
+		l.fence = epoch
+	}
+}
+
+// Fence returns the newest manager epoch this LRM has witnessed.
+func (l *LRM) Fence() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.fence
+}
+
+// admitEpoch gates one inbound manager write: zero (legacy) is always
+// admitted, an epoch at or above the fence advances it, and anything older
+// is refused and counted.
+func (l *LRM) admitEpoch(epoch int) bool {
+	if epoch == 0 {
+		return true
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if epoch < l.fence {
+		l.stats.StaleEpochRejections++
+		return false
+	}
+	l.fence = epoch
+	return true
 }
 
 // armReregister schedules the next re-registration attempt under the capped
@@ -291,11 +351,16 @@ func (l *LRM) reregisterTick() {
 		return
 	}
 	client := protocol.NewGRMClient(l.inv, ref)
-	if err := client.Update(l.Status()); err != nil {
+	epoch, err := client.Update(l.Status())
+	if err == nil && l.staleManager(epoch) {
+		err = orb.Errorf(orb.CodeApplication, "manager epoch %d is stale", epoch)
+	}
+	if err != nil {
 		l.log.Debug("re-registration update failed", "node", l.node.ID(), "err", err)
 		l.armReregister()
 		return
 	}
+	l.adoptEpoch(epoch)
 	l.mu.Lock()
 	l.grm = client
 	l.rereg = false
@@ -502,10 +567,15 @@ func (l *LRM) Servant() orb.Servant {
 		}).
 		Handle(protocol.OpCancel, func(_ string, req *orb.Decoder) (*orb.Encoder, error) {
 			taskID := req.String()
+			epoch := req.Int()
 			if err := req.Err(); err != nil {
 				return nil, orb.Errorf(orb.CodeMarshal, "cancel: %v", err)
 			}
-			progress := l.handleCancel(taskID)
+			var progress float64
+			// A deposed primary must not kill tasks the new leader owns.
+			if l.admitEpoch(epoch) {
+				progress = l.handleCancel(taskID)
+			}
 			var e orb.Encoder
 			e.PutF64(progress)
 			return &e, nil
@@ -532,6 +602,9 @@ func (l *LRM) handleReserve(r protocol.ReserveRequest) protocol.ReserveReply {
 		return protocol.ReserveReply{Reason: reason}
 	}
 
+	if !l.admitEpoch(r.Epoch) {
+		return refuse("stale manager epoch")
+	}
 	if l.node.IsDown(now) {
 		return refuse("node down")
 	}
@@ -559,6 +632,9 @@ func (l *LRM) handleReserve(r protocol.ReserveRequest) protocol.ReserveReply {
 // handleExecute commits the reservation and starts the task.
 func (l *LRM) handleExecute(r protocol.ExecuteRequest) error {
 	now := l.clock.Now()
+	if !l.admitEpoch(r.Epoch) {
+		return orb.Errorf(orb.CodeApplication, "execute %s: stale manager epoch %d", r.TaskID, r.Epoch)
+	}
 	if err := l.node.Ledger().Commit(r.ReservationID, now); err != nil {
 		return orb.Errorf(orb.CodeApplication, "commit %s: %v", r.ReservationID, err)
 	}

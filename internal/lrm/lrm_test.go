@@ -22,6 +22,7 @@ type fakeGRM struct {
 	updates  []protocol.NodeStatus
 	events   []protocol.TaskEvent
 	failNext bool
+	epoch    int // fencing epoch returned in update replies
 }
 
 func (f *fakeGRM) servant() orb.Servant {
@@ -38,7 +39,9 @@ func (f *fakeGRM) servant() orb.Servant {
 				return nil, err
 			}
 			f.updates = append(f.updates, s)
-			return &orb.Encoder{}, nil
+			var e orb.Encoder
+			e.PutInt(f.epoch)
+			return &e, nil
 		}).
 		Handle(protocol.OpNotify, func(_ string, req *orb.Decoder) (*orb.Encoder, error) {
 			ev, err := protocol.DecodeTaskEvent(req)
@@ -260,6 +263,99 @@ func TestReleaseFreesReservation(t *testing.T) {
 	}
 }
 
+// TestStaleEpochFencing: once the LRM has seen a manager at epoch E, every
+// write fenced below E is refused — reservations, executes and cancels from a
+// deposed primary place and destroy nothing. Epoch 0 stays the unfenced
+// legacy escape hatch.
+func TestStaleEpochFencing(t *testing.T) {
+	f := newFixture(t, dedicatedSpec(1000), nil, ncc.Generous())
+	alloc := resource.Vector{MIPS: 1000, RAMMB: 64}
+
+	// Epoch 3 manager places a task; the LRM adopts the fence.
+	reply, err := f.lrmC.Reserve(protocol.ReserveRequest{Holder: "a", Amount: alloc, TTL: time.Minute, Epoch: 3})
+	if err != nil || !reply.Granted {
+		t.Fatalf("reserve: %v %+v", err, reply)
+	}
+	if got := f.lrm.Fence(); got != 3 {
+		t.Fatalf("Fence = %d, want 3", got)
+	}
+	if err := f.lrmC.Execute(protocol.ExecuteRequest{
+		ReservationID: reply.ReservationID, TaskID: "t", AppID: "a",
+		Work: 1e9, Alloc: alloc, Epoch: 3,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f.clock.Advance(10 * time.Minute)
+
+	// A deposed epoch-2 manager can neither reserve nor cancel.
+	r2, err := f.lrmC.Reserve(protocol.ReserveRequest{Holder: "b", Amount: alloc, TTL: time.Minute, Epoch: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Granted {
+		t.Fatal("stale-epoch reservation granted")
+	}
+	if progress, err := f.lrmC.Cancel("t", 2); err != nil || progress != 0 {
+		t.Fatalf("stale cancel = %v, %v; want zero progress", progress, err)
+	}
+	if got := f.lrm.Stats().StaleEpochRejections; got < 2 {
+		t.Fatalf("StaleEpochRejections = %d, want >= 2", got)
+	}
+
+	// The current-epoch manager still works.
+	if progress, err := f.lrmC.Cancel("t", 3); err != nil || progress <= 0 {
+		t.Fatalf("current-epoch cancel = %v, %v; want progress > 0", progress, err)
+	}
+
+	// A stale execute against a fresh reservation is refused too.
+	r3, err := f.lrmC.Reserve(protocol.ReserveRequest{Holder: "c", Amount: resource.Vector{MIPS: 1}, TTL: time.Minute, Epoch: 3})
+	if err != nil || !r3.Granted {
+		t.Fatalf("reserve: %v %+v", err, r3)
+	}
+	err = f.lrmC.Execute(protocol.ExecuteRequest{
+		ReservationID: r3.ReservationID, TaskID: "t2", AppID: "c",
+		Work: 1, Alloc: resource.Vector{MIPS: 1}, Epoch: 1,
+	})
+	if !orb.IsCode(err, orb.CodeApplication) {
+		t.Fatalf("stale execute err = %v", err)
+	}
+
+	// Legacy epoch 0 stays accepted.
+	r0, err := f.lrmC.Reserve(protocol.ReserveRequest{Holder: "d", Amount: resource.Vector{MIPS: 1}, TTL: time.Minute})
+	if err != nil || !r0.Granted {
+		t.Fatalf("epoch-0 reserve refused: %v %+v", err, r0)
+	}
+}
+
+// TestStaleManagerEpochTriggersRereg: when an update reply reveals the
+// manager's epoch regressed below the newest this LRM has seen (a deposed
+// primary still answering), the LRM treats it as an update failure and
+// re-resolves toward the real leader.
+func TestStaleManagerEpochTriggersRereg(t *testing.T) {
+	f := newFixture(t, dedicatedSpec(1000), nil, ncc.Generous(),
+		WithUpdatePeriod(30*time.Second))
+	f.grm.mu.Lock()
+	f.grm.epoch = 5
+	f.grm.mu.Unlock()
+	f.lrm.Start()
+	f.clock.Advance(30 * time.Second)
+	if got := f.lrm.Fence(); got != 5 {
+		t.Fatalf("Fence = %d, want 5", got)
+	}
+	// The manager's epoch regresses: a stale primary answering on the old ref.
+	f.grm.mu.Lock()
+	f.grm.epoch = 2
+	f.grm.mu.Unlock()
+	f.clock.Advance(90 * time.Second)
+	st := f.lrm.Stats()
+	if st.StaleEpochRejections == 0 {
+		t.Fatalf("stale manager not detected: %+v", st)
+	}
+	if st.UpdateFailures == 0 {
+		t.Fatalf("stale epoch not treated as update failure: %+v", st)
+	}
+}
+
 func TestExecuteUnknownReservationFails(t *testing.T) {
 	f := newFixture(t, dedicatedSpec(1000), nil, ncc.Generous())
 	err := f.lrmC.Execute(protocol.ExecuteRequest{
@@ -284,7 +380,7 @@ func TestCancelReturnsProgress(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.clock.Advance(10 * time.Minute)
-	progress, err := f.lrmC.Cancel("t")
+	progress, err := f.lrmC.Cancel("t", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -293,7 +389,7 @@ func TestCancelReturnsProgress(t *testing.T) {
 		t.Fatalf("progress = %v, want ~%v", progress, want)
 	}
 	// Unknown task cancels to zero progress.
-	progress, err = f.lrmC.Cancel("ghost")
+	progress, err = f.lrmC.Cancel("ghost", 0)
 	if err != nil || progress != 0 {
 		t.Fatalf("ghost cancel = %v, %v", progress, err)
 	}

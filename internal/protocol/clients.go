@@ -19,12 +19,23 @@ func NewGRMClient(inv orb.Invoker, ref orb.ObjectRef) *GRMClient {
 // Ref returns the target reference.
 func (c *GRMClient) Ref() orb.ObjectRef { return c.ref }
 
-// Update pushes a NodeStatus (Information Update Protocol).
-func (c *GRMClient) Update(s NodeStatus) error {
+// Update pushes a NodeStatus (Information Update Protocol) and returns the
+// manager's fencing epoch (0 from an unfenced legacy manager). The LRM
+// compares it against the newest epoch it has seen to spot a deposed
+// primary still answering.
+func (c *GRMClient) Update(s NodeStatus) (int, error) {
 	var e orb.Encoder
 	s.Encode(&e)
-	_, err := c.inv.Invoke(c.ref, OpUpdate, e.Bytes())
-	return err
+	reply, err := c.inv.Invoke(c.ref, OpUpdate, e.Bytes())
+	if err != nil {
+		return 0, err
+	}
+	d := orb.NewDecoder(reply)
+	epoch := d.Int()
+	if err := d.Err(); err != nil {
+		return 0, orb.Errorf(orb.CodeMarshal, "update reply: %v", err)
+	}
+	return epoch, nil
 }
 
 // Submit submits an application and returns its assigned ID.
@@ -145,11 +156,13 @@ func (c *LRMClient) Execute(req ExecuteRequest) error {
 	return err
 }
 
-// Cancel aborts a running task. It returns the task's progress at
-// cancellation (0 if the task was unknown).
-func (c *LRMClient) Cancel(taskID string) (float64, error) {
+// Cancel aborts a running task on behalf of the manager with the given
+// fencing epoch (0 = unfenced). It returns the task's progress at
+// cancellation (0 if the task was unknown or the epoch stale).
+func (c *LRMClient) Cancel(taskID string, epoch int) (float64, error) {
 	var e orb.Encoder
 	e.PutString(taskID)
+	e.PutInt(epoch)
 	reply, err := c.inv.Invoke(c.ref, OpCancel, e.Bytes())
 	if err != nil {
 		return 0, err

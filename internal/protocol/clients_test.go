@@ -11,14 +11,15 @@ import (
 // fakeManagers implements both manager interfaces in-memory to exercise the
 // typed stubs end to end over the loopback ORB.
 type fakeManagers struct {
-	updates  []NodeStatus
-	events   []TaskEvent
-	apps     map[string]AppStatus
-	order    []string
-	granted  bool
-	executed []ExecuteRequest
-	released []string
-	canceled []string
+	updates      []NodeStatus
+	events       []TaskEvent
+	apps         map[string]AppStatus
+	order        []string
+	granted      bool
+	executed     []ExecuteRequest
+	released     []string
+	canceled     []string
+	cancelEpochs []int
 }
 
 func newFakes() *fakeManagers {
@@ -33,7 +34,9 @@ func (f *fakeManagers) grmServant() orb.Servant {
 				return nil, err
 			}
 			f.updates = append(f.updates, s)
-			return &orb.Encoder{}, nil
+			var e orb.Encoder
+			e.PutInt(7)
+			return &e, nil
 		}).
 		Handle(OpSubmit, func(_ string, req *orb.Decoder) (*orb.Encoder, error) {
 			spec, err := DecodeApplicationSpec(req)
@@ -101,6 +104,7 @@ func (f *fakeManagers) lrmServant() orb.Servant {
 		}).
 		Handle(OpCancel, func(_ string, req *orb.Decoder) (*orb.Encoder, error) {
 			_ = req.String()
+			f.cancelEpochs = append(f.cancelEpochs, req.Int())
 			var e orb.Encoder
 			e.PutF64(123.5)
 			return &e, nil
@@ -140,8 +144,12 @@ func TestGRMClientRoundTrips(t *testing.T) {
 	}
 
 	status := NodeStatus{NodeID: "n1", Timestamp: time.Unix(9, 0).UTC()}
-	if err := grm.Update(status); err != nil {
+	epoch, err := grm.Update(status)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if epoch != 7 {
+		t.Fatalf("update epoch = %d, want 7", epoch)
 	}
 	if len(f.updates) != 1 || f.updates[0].NodeID != "n1" {
 		t.Fatalf("updates = %+v", f.updates)
@@ -220,12 +228,15 @@ func TestLRMClientRoundTrips(t *testing.T) {
 		t.Fatalf("released = %v", f.released)
 	}
 
-	progress, err := lrm.Cancel("t")
+	progress, err := lrm.Cancel("t", 3)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if progress != 123.5 {
 		t.Fatalf("progress = %v", progress)
+	}
+	if len(f.cancelEpochs) != 1 || f.cancelEpochs[0] != 3 {
+		t.Fatalf("cancel epochs = %v", f.cancelEpochs)
 	}
 
 	state, err := lrm.NodeState()
@@ -241,7 +252,7 @@ func TestClientsSurfaceTransportErrors(t *testing.T) {
 	o := orb.New()
 	dead := orb.ObjectRef{Endpoint: orb.Endpoint{Net: orb.NetLoopback, Addr: "nowhere"}, Key: GRMKey}
 	grm := NewGRMClient(o, dead)
-	if err := grm.Update(NodeStatus{}); err == nil {
+	if _, err := grm.Update(NodeStatus{}); err == nil {
 		t.Fatal("update to dead endpoint succeeded")
 	}
 	if _, err := grm.Submit(ApplicationSpec{Name: "x", Kind: AppSequential, NumTasks: 1, WorkPerTask: 1}); err == nil {
@@ -257,7 +268,7 @@ func TestClientsSurfaceTransportErrors(t *testing.T) {
 	if _, err := lrm.NodeState(); err == nil {
 		t.Fatal("nodeState to dead endpoint succeeded")
 	}
-	if _, err := lrm.Cancel("x"); err == nil {
+	if _, err := lrm.Cancel("x", 0); err == nil {
 		t.Fatal("cancel to dead endpoint succeeded")
 	}
 }

@@ -105,6 +105,11 @@ type ReserveRequest struct {
 	Holder string // application/request identifier
 	Amount resource.Vector
 	TTL    time.Duration // how long the hold may stand before execution
+	// Epoch is the issuing manager's fencing epoch (its election term). An
+	// LRM refuses requests whose epoch is older than the newest it has seen,
+	// so a deposed primary cannot place work. Zero means unfenced (a legacy
+	// single-primary manager) and is always accepted.
+	Epoch int
 }
 
 // Encode writes the request.
@@ -112,6 +117,7 @@ func (r ReserveRequest) Encode(e *orb.Encoder) {
 	e.PutString(r.Holder)
 	EncodeVector(e, r.Amount)
 	e.PutDuration(r.TTL)
+	e.PutInt(r.Epoch)
 }
 
 // DecodeReserveRequest reads a ReserveRequest.
@@ -121,6 +127,7 @@ func DecodeReserveRequest(d *orb.Decoder) (ReserveRequest, error) {
 		Amount: DecodeVector(d),
 		TTL:    d.Duration(),
 	}
+	r.Epoch = d.Int()
 	return r, d.Err()
 }
 
@@ -159,6 +166,8 @@ type ExecuteRequest struct {
 	Alloc         resource.Vector
 	// InitialProgress restores a checkpointed task after migration.
 	InitialProgress float64
+	// Epoch is the issuing manager's fencing epoch; see ReserveRequest.
+	Epoch int
 }
 
 // Encode writes the request.
@@ -169,6 +178,7 @@ func (r ExecuteRequest) Encode(e *orb.Encoder) {
 	e.PutF64(r.Work)
 	EncodeVector(e, r.Alloc)
 	e.PutF64(r.InitialProgress)
+	e.PutInt(r.Epoch)
 }
 
 // DecodeExecuteRequest reads an ExecuteRequest.
@@ -181,6 +191,7 @@ func DecodeExecuteRequest(d *orb.Decoder) (ExecuteRequest, error) {
 		Alloc:         DecodeVector(d),
 	}
 	r.InitialProgress = d.F64()
+	r.Epoch = d.Int()
 	return r, d.Err()
 }
 
