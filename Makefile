@@ -6,7 +6,7 @@ FUZZ_SMOKE_TIME ?= 30s
 # Seeds the chaos target sweeps; each runs the fault-injection suite once.
 CHAOS_SEEDS ?= 1 7 42
 
-.PHONY: all build test race vet lint lint-fast interproc-lint fuzz-smoke fmt-check chaos failover election bench-orb bench-orb-check ci
+.PHONY: all build test race vet lint lint-fast interproc-lint fuzz-smoke fmt-check chaos failover election bench-orb bench-orb-check bench-sched bench-sched-check ci
 
 all: build
 
@@ -118,5 +118,18 @@ bench-orb-check:
 	$(GO) test -run TestLoopbackInvokeAllocBudget -count=1 -v ./internal/orb
 	$(GO) run ./cmd/integrade-bench -orb-json /tmp/BENCH_orb_ci.json -orb-short
 
+# Scheduling-path performance: the E14 throughput/latency sweep over
+# 10^2-10^5 offers, written as the machine-readable BENCH_sched.json
+# (compare against the embedded pre_pipeline_baseline block).
+bench-sched:
+	$(GO) run ./cmd/integrade-bench -sched-json BENCH_sched.json
+
+# CI smoke variant: the throughput gate (the 10k-offer point must stay
+# within internal/bench/testdata/sched_budget.txt), then a short-scale
+# report to a scratch path.
+bench-sched-check:
+	$(GO) test -run TestSchedBudgetHolds -count=1 -v ./internal/bench
+	$(GO) run ./cmd/integrade-bench -sched-json /tmp/BENCH_sched_ci.json -sched-short
+
 # Everything CI runs, in the same order.
-ci: build fmt-check vet lint interproc-lint race chaos failover election bench-orb-check fuzz-smoke
+ci: build fmt-check vet lint interproc-lint race chaos failover election bench-orb-check bench-sched-check fuzz-smoke

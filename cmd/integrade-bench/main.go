@@ -11,7 +11,8 @@
 // With -orb-json PATH it instead runs only the E12 ORB performance
 // measurements and writes the machine-readable report to PATH (the
 // BENCH_orb.json perf trajectory); -orb-short trims the per-point budget
-// for CI smoke runs.
+// for CI smoke runs. -sched-json/-sched-short do the same for the E14
+// scheduling-path measurements (the BENCH_sched.json trajectory).
 package main
 
 import (
@@ -33,15 +34,20 @@ func main() {
 
 func run() error {
 	var (
-		expFlag  = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
-		seed     = flag.Int64("seed", 1, "experiment seed")
-		orbJSON  = flag.String("orb-json", "", "write the E12 ORB perf report to this path and exit")
-		orbShort = flag.Bool("orb-short", false, "with -orb-json: use the short per-point budget (CI smoke)")
+		expFlag    = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
+		seed       = flag.Int64("seed", 1, "experiment seed")
+		orbJSON    = flag.String("orb-json", "", "write the E12 ORB perf report to this path and exit")
+		orbShort   = flag.Bool("orb-short", false, "with -orb-json: use the short per-point budget (CI smoke)")
+		schedJSON  = flag.String("sched-json", "", "write the E14 scheduling perf report to this path and exit")
+		schedShort = flag.Bool("sched-short", false, "with -sched-json: use the short offer scales (CI smoke)")
 	)
 	flag.Parse()
 
 	if *orbJSON != "" {
 		return writeORBReport(*orbJSON, *seed, *orbShort)
+	}
+	if *schedJSON != "" {
+		return writeSchedReport(*schedJSON, *seed, *schedShort)
 	}
 
 	want := map[string]bool{}
@@ -76,6 +82,29 @@ func writeORBReport(path string, seed int64, short bool) error {
 	report, err := bench.MeasureORBPerf(seed, short)
 	if err != nil {
 		return fmt.Errorf("orb perf measurement: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := report.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "(wrote %s in %v)\n", path, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// writeSchedReport runs the E14 measurements and writes BENCH_sched.json.
+// Telemetry goes to stderr; stdout stays empty (and therefore byte-stable).
+func writeSchedReport(path string, seed int64, short bool) error {
+	start := time.Now()
+	report, err := bench.MeasureSchedPerf(seed, short)
+	if err != nil {
+		return fmt.Errorf("sched perf measurement: %w", err)
 	}
 	f, err := os.Create(path)
 	if err != nil {

@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestSchedulingOutputMatchesSeedGoldens is the differential gate for the
+// sharded copy-on-write trader and the batched admission pipeline: the
+// goldens under testdata/ were rendered by the pre-pipeline scheduler (the
+// flat locked offer index, one-app-per-call Submit), and the current code
+// must reproduce them byte for byte. E5 exercises owner-QoS scheduling
+// decisions end to end; E9 drives placements through failure recovery and
+// re-negotiation. Any reordering introduced by the shard merge, the
+// snapshot cache, or admission batching shows up here as a diff.
+func TestSchedulingOutputMatchesSeedGoldens(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full experiments; skipped in -short mode")
+	}
+	cases := []struct {
+		golden string
+		id     string
+		seed   int64
+	}{
+		{"golden_e5_seed1.txt", "E5", 1},
+		{"golden_e5_seed42.txt", "E5", 42},
+		{"golden_e9_seed1.txt", "E9", 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.golden, func(t *testing.T) {
+			want, err := os.ReadFile(filepath.Join("testdata", tc.golden))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var run func(int64) Table
+			for _, e := range All() {
+				if e.ID == tc.id {
+					run = e.Run
+				}
+			}
+			if run == nil {
+				t.Fatalf("experiment %s not registered", tc.id)
+			}
+			// The goldens are verbatim integrade-bench stdout, whose
+			// Println appends one newline after Table.String().
+			got := run(tc.seed).String() + "\n"
+			if got != string(want) {
+				t.Errorf("%s seed %d diverged from the pre-pipeline golden %s:\n--- golden\n%s\n--- got\n%s",
+					tc.id, tc.seed, tc.golden, want, got)
+			}
+		})
+	}
+}

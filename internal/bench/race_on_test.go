@@ -1,0 +1,8 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports whether the race detector is compiled in. The
+// wall-clock budget gate skips under it: instrumentation slows the
+// scheduling path ~5-10x, which is race overhead, not a regression.
+const raceEnabled = true

@@ -1,0 +1,159 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// schedBudgetRow is one named performance gate from
+// testdata/sched_budget.txt. Rows whose name ends in _min are floors, rows
+// ending in _max are ceilings.
+type schedBudgetRow struct {
+	name  string
+	bound float64
+}
+
+// parseSchedBudgets reads the `<metric> <bound>` rows of
+// testdata/sched_budget.txt ('#' starts a comment).
+func parseSchedBudgets(t *testing.T, path string) []schedBudgetRow {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []schedBudgetRow
+	for i, line := range strings.Split(string(raw), "\n") {
+		if j := strings.IndexByte(line, '#'); j >= 0 {
+			line = line[:j]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) != 2 {
+			t.Fatalf("%s:%d: want `<metric> <bound>`, got %q", path, i+1, line)
+		}
+		bound, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			t.Fatalf("%s:%d: bad bound %q: %v", path, i+1, fields[1], err)
+		}
+		rows = append(rows, schedBudgetRow{name: fields[0], bound: bound})
+	}
+	if len(rows) == 0 {
+		t.Fatalf("%s: no budget rows", path)
+	}
+	return rows
+}
+
+// TestSchedReportShape checks the machine-readable E14 report: schema tag,
+// baseline embedded, and one quick measurement point with coherent
+// counters. The -sched-json CLI path keeps stdout empty (telemetry goes to
+// stderr, like the experiment tables' timing lines), so the byte-stability
+// contract TestExperimentOutputByteStable pins for table output holds
+// trivially there; E14's own table is wall-clock and exempt, like E11/E12.
+func TestSchedReportShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock measurement; skipped in -short mode")
+	}
+	pt, err := measureSchedPoint(100, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.SyncSubsPerSec <= 0 || pt.BatchSubsPerSec <= 0 {
+		t.Fatalf("non-positive throughput: %+v", pt)
+	}
+	if pt.P50UsPerApp <= 0 || pt.P99UsPerApp < pt.P50UsPerApp {
+		t.Fatalf("incoherent percentiles: %+v", pt)
+	}
+	if pt.Batches <= 0 || pt.MaxBatch <= 0 || pt.QueuePeak <= 0 {
+		t.Fatalf("batch counters empty: %+v", pt)
+	}
+	if pt.SnapshotHits+pt.SnapshotMisses < 20 {
+		t.Fatalf("matcher lookups unaccounted: %+v", pt)
+	}
+
+	report := SchedPerfReport{Schema: "integrade/bench-sched/v1", Baseline: preSchedBaseline, Points: []SchedPoint{pt}}
+	var sb strings.Builder
+	if err := report.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`"schema": "integrade/bench-sched/v1"`,
+		`"pre_pipeline_baseline"`,
+		`"subs_per_sec_10000_offers": 21.9`,
+		`"batch_subs_per_sec"`,
+	} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("report JSON missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+// TestSchedBudgetHolds is the CI throughput gate for the scheduling path
+// (make bench-sched-check): it measures the 10,000-offer E14 point once and
+// checks every row of testdata/sched_budget.txt against it. The floors sit
+// far below the measured numbers so CI noise cannot flake the gate, but a
+// regression back toward the pre-pipeline one-app-at-a-time scheduler
+// (21.9 sync subs/sec at this scale) fails with a got-vs-bound diff.
+// Raising a floor is how a future optimization ratchets the gate.
+func TestSchedBudgetHolds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock measurement; skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("wall-clock floors are calibrated without race instrumentation; " +
+			"the gate runs via make bench-sched-check")
+	}
+	path := filepath.Join("testdata", "sched_budget.txt")
+	rows := parseSchedBudgets(t, path)
+
+	pt, err := measureSchedPoint(10000, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hitRate := 0.0
+	if n := pt.SnapshotHits + pt.SnapshotMisses; n > 0 {
+		hitRate = float64(pt.SnapshotHits) / float64(n)
+	}
+	metrics := map[string]float64{
+		"batch_subs_per_sec_min":  pt.BatchSubsPerSec,
+		"sync_subs_per_sec_min":   pt.SyncSubsPerSec,
+		"p99_us_per_app_max":      pt.P99UsPerApp,
+		"sync_allocs_per_app_max": pt.SyncAllocsPerApp,
+		"snapshot_hit_rate_min":   hitRate,
+	}
+
+	var (
+		diff   strings.Builder
+		failed bool
+	)
+	for _, row := range rows {
+		got, ok := metrics[row.name]
+		if !ok {
+			t.Fatalf("%s: unknown metric %q", path, row.name)
+		}
+		var bad bool
+		switch {
+		case strings.HasSuffix(row.name, "_min"):
+			bad = got < row.bound
+		case strings.HasSuffix(row.name, "_max"):
+			bad = got > row.bound
+		default:
+			t.Fatalf("%s: metric %q must end in _min or _max", path, row.name)
+		}
+		mark := "ok"
+		if bad {
+			mark = "OUT OF BUDGET"
+			failed = true
+		}
+		fmt.Fprintf(&diff, "  %-26s got %12.2f, bound %12.2f  %s\n", row.name, got, row.bound, mark)
+	}
+	if failed {
+		t.Fatalf("scheduling budget violated (%s):\n%s", path, diff.String())
+	}
+	t.Logf("scheduling budgets hold (%s):\n%s", path, diff.String())
+}

@@ -1,0 +1,247 @@
+package grm
+
+import (
+	"errors"
+	"time"
+
+	"integrade/internal/protocol"
+	"integrade/internal/trading"
+)
+
+// ErrAdmissionFull is returned by Submit when the bounded admission queue is
+// at capacity. Callers are expected to back off and resubmit; the rejection
+// is counted in Stats.AdmissionRejected and replicated to standbys.
+var ErrAdmissionFull = errors.New("grm: admission queue full")
+
+// Admission pipeline defaults.
+const (
+	// DefaultAdmissionLimit bounds the number of applications waiting for
+	// their first scheduling pass. Beyond it Submit rejects with
+	// ErrAdmissionFull rather than queueing unbounded work.
+	DefaultAdmissionLimit = 4096
+	// DefaultAdmissionBatch is how many queued applications one drain
+	// iteration matches against a single trader snapshot.
+	DefaultAdmissionBatch = 64
+)
+
+// WithAdmissionLimit sets the bounded admission queue capacity (default
+// DefaultAdmissionLimit). Submissions beyond it fail with ErrAdmissionFull.
+func WithAdmissionLimit(n int) Option {
+	return func(g *GRM) { g.admitLimit = n }
+}
+
+// WithAdmissionBatch sets how many queued applications are matched per
+// drain iteration (default DefaultAdmissionBatch).
+func WithAdmissionBatch(n int) Option {
+	return func(g *GRM) { g.admitBatch = n }
+}
+
+// WithAsyncAdmission decouples Submit from placement: Submit returns as soon
+// as the application is queued and a background drainer matches batches
+// against one offer snapshot per batch. The default is synchronous — Submit
+// drains the queue before returning, preserving the seed's
+// submit-then-placed semantics (and byte-identical experiment output).
+func WithAsyncAdmission() Option {
+	return func(g *GRM) { g.asyncAdmit = true }
+}
+
+// purePolicy marks scheduling policies whose Order is a pure function of its
+// input — no RNG draw, no internal state — so the batch matcher may cache
+// the ordered candidate list per constraint instead of re-sorting for every
+// task in a batch. Stateful policies (Random, RoundRobin) must not implement
+// it: they are re-invoked per query so their state advances exactly as on
+// the seed's one-query-per-task path.
+type purePolicy interface{ pureOrder() }
+
+// matchEntry caches one constraint's candidate set within a matchCtx.
+type matchEntry struct {
+	shared     []trading.Offer // trader result, shared Properties maps
+	ordered    []trading.Offer // policy-ordered, cached for pure policies only
+	minExpires time.Time       // earliest expiry among the cached offers
+}
+
+// matchCtx amortizes trader queries across one scheduling batch. Entries are
+// keyed by constraint text and are valid only while (a) the trader version
+// is unchanged — any Export/Withdraw invalidates the whole context — and
+// (b) no cached offer has expired. Both guards make a cache hit provably
+// identical to re-running the trader query, which is what keeps batched
+// scheduling byte-identical to the seed's query-per-task path.
+type matchCtx struct {
+	g       *GRM
+	version uint64
+	entries map[string]*matchEntry
+	hits    int
+	misses  int
+}
+
+func (g *GRM) newMatchCtx() *matchCtx {
+	return &matchCtx{g: g, entries: make(map[string]*matchEntry)}
+}
+
+// candidates returns the policy-ordered candidate list for spec, serving
+// repeats within the batch from the snapshot cache.
+func (mc *matchCtx) candidates(spec protocol.ApplicationSpec) ([]trading.Offer, error) {
+	ent, err := mc.lookup(buildConstraint(spec))
+	if err != nil {
+		return nil, err
+	}
+	if _, pure := mc.g.policy.(purePolicy); pure {
+		if ent.ordered == nil {
+			ent.ordered = mc.g.policy.Order(ent.shared, mc.g.rng)
+		}
+		return ent.ordered, nil
+	}
+	return mc.g.policy.Order(ent.shared, mc.g.rng), nil
+}
+
+// lookup returns the cached candidate set for one constraint, refilling via
+// the trader on version change, expiry, or first sight. This is the batch
+// matcher's inner loop: a hit costs one atomic load, one map probe and at
+// worst one clock read.
+//
+//lint:hotpath alloc=2 locks=2 block=0
+func (mc *matchCtx) lookup(cons string) (*matchEntry, error) {
+	// Read the version before the query below: if a trader write lands
+	// between the two, the entry is tagged with the older version and the
+	// next lookup conservatively refills.
+	v := mc.g.trader.Version()
+	if v != mc.version {
+		clear(mc.entries)
+		mc.version = v
+	}
+	if ent, ok := mc.entries[cons]; ok {
+		if ent.minExpires.IsZero() || mc.g.clock.Now().Before(ent.minExpires) {
+			mc.hits++
+			return ent, nil
+		}
+	}
+	mc.misses++
+	return mc.fill(cons)
+}
+
+// fill runs the full trader query for one constraint and caches the result.
+//
+//lint:coldpath snapshot miss: full trader query + expiry scan
+func (mc *matchCtx) fill(cons string) (*matchEntry, error) {
+	offers, err := mc.g.trader.SelectShared(trading.Query{
+		ServiceType: NodeStatusType,
+		Constraint:  cons,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ent := &matchEntry{shared: offers}
+	for i := range offers {
+		if e := offers[i].Expires; !e.IsZero() && (ent.minExpires.IsZero() || e.Before(ent.minExpires)) {
+			ent.minExpires = e
+		}
+	}
+	mc.entries[cons] = ent
+	return ent, nil
+}
+
+// takeBatchLocked removes up to admitBatch applications from the head of
+// the admission queue. Caller holds g.mu.
+func (g *GRM) takeBatchLocked() []*appInfo {
+	n := min(g.admitBatch, len(g.admitQ))
+	if n <= 0 {
+		return nil
+	}
+	batch := make([]*appInfo, n)
+	copy(batch, g.admitQ)
+	rest := copy(g.admitQ, g.admitQ[n:])
+	for i := rest; i < len(g.admitQ); i++ {
+		g.admitQ[i] = nil
+	}
+	g.admitQ = g.admitQ[:rest]
+	g.stats.AdmissionQueueDepth = rest
+	return batch
+}
+
+// matchBatch runs one scheduling pass over a drained batch against a single
+// matchCtx, so every task in the batch shares trader snapshots and (for
+// pure policies) ordered candidate lists. Runs with no GRM lock held.
+func (g *GRM) matchBatch(batch []*appInfo) {
+	mc := g.newMatchCtx()
+	for _, app := range batch {
+		g.scheduleApp(app, mc)
+	}
+	g.mu.Lock()
+	g.stats.SchedulerBatches++
+	g.stats.LastBatchSize = len(batch)
+	g.stats.MaxBatchSize = max(g.stats.MaxBatchSize, len(batch))
+	g.stats.SnapshotHits += mc.hits
+	g.stats.SnapshotMisses += mc.misses
+	g.replicateSchedLocked()
+	g.mu.Unlock()
+}
+
+// drainAdmission empties the admission queue from the calling goroutine,
+// batch by batch. Only one drainer (sync or async) runs at a time: the
+// draining latch serializes them, and a second caller waits on drainDone —
+// holding no lock — then re-checks the queue, so a synchronous Submit never
+// returns while its own application could still be queued.
+func (g *GRM) drainAdmission() {
+	for {
+		g.mu.Lock()
+		if g.draining {
+			ch := g.drainDone
+			g.mu.Unlock()
+			<-ch
+			continue
+		}
+		if len(g.admitQ) == 0 {
+			g.mu.Unlock()
+			return
+		}
+		g.draining = true
+		g.drainDone = make(chan struct{})
+		batch := g.takeBatchLocked()
+		g.mu.Unlock()
+		g.matchBatch(batch)
+		g.mu.Lock()
+		g.draining = false
+		close(g.drainDone)
+		g.mu.Unlock()
+	}
+}
+
+// kickDrain starts the background drainer if none is running. Called with
+// no lock held — the goroutine spawn must not happen under g.mu, since the
+// drainer's batch work issues Reserve/Execute RPCs. Used only in
+// async-admission mode.
+func (g *GRM) kickDrain() {
+	g.mu.Lock()
+	if g.drainerRunning || g.stopped {
+		g.mu.Unlock()
+		return
+	}
+	g.drainerRunning = true
+	g.mu.Unlock()
+	g.drainWG.Add(1)
+	go g.asyncDrain()
+}
+
+// asyncDrain is the background admission drainer. It exits when the queue
+// is empty, the GRM stops, or a synchronous drainer holds the latch — in
+// every case a later Submit kicks a fresh drainer, so no admission is lost.
+func (g *GRM) asyncDrain() {
+	defer g.drainWG.Done()
+	for {
+		g.mu.Lock()
+		if g.stopped || g.draining || len(g.admitQ) == 0 {
+			g.drainerRunning = false
+			g.mu.Unlock()
+			return
+		}
+		g.draining = true
+		g.drainDone = make(chan struct{})
+		batch := g.takeBatchLocked()
+		g.mu.Unlock()
+		g.matchBatch(batch)
+		g.mu.Lock()
+		g.draining = false
+		close(g.drainDone)
+		g.mu.Unlock()
+	}
+}

@@ -1,0 +1,137 @@
+package grm
+
+import (
+	"testing"
+	"time"
+
+	"integrade/internal/orb"
+	"integrade/internal/sim"
+)
+
+// TestSchedRecordWireRoundTrip pins the optional trailing Sched section of
+// the replica-batch wire format: a batch with scheduler state decodes to the
+// same record, and a batch without one decodes to a nil Sched (the format
+// every pre-pipeline primary still emits).
+func TestSchedRecordWireRoundTrip(t *testing.T) {
+	b := replicaBatch{
+		ClusterID: "test",
+		Seq:       7,
+		Sched: &schedRecord{
+			QueuedIDs: []string{"app-1", "app-2"},
+			Accepted:  9,
+			Rejected:  3,
+			Peak:      4,
+			Batches:   5,
+			MaxBatch:  2,
+		},
+	}
+	var e orb.Encoder
+	b.encode(&e)
+	got, err := decodeReplicaBatch(orb.NewDecoder(e.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Sched == nil {
+		t.Fatal("Sched section lost in round trip")
+	}
+	if len(got.Sched.QueuedIDs) != 2 || got.Sched.QueuedIDs[0] != "app-1" || got.Sched.QueuedIDs[1] != "app-2" {
+		t.Fatalf("QueuedIDs = %v", got.Sched.QueuedIDs)
+	}
+	if got.Sched.Accepted != 9 || got.Sched.Rejected != 3 || got.Sched.Peak != 4 ||
+		got.Sched.Batches != 5 || got.Sched.MaxBatch != 2 {
+		t.Fatalf("counters = %+v", *got.Sched)
+	}
+
+	var e2 orb.Encoder
+	replicaBatch{ClusterID: "test", Seq: 8}.encode(&e2)
+	got2, err := decodeReplicaBatch(orb.NewDecoder(e2.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.Sched != nil {
+		t.Fatalf("batch without scheduler state decoded Sched = %+v", *got2.Sched)
+	}
+}
+
+// TestApplyReplicaRebuildsAdmissionQueue is the failover half of the
+// admission pipeline: a standby receiving a batch with scheduler state must
+// rebuild its admission queue from the queued IDs — resolving them against
+// the app records in the same batch, dropping unknowns — and adopt the
+// replicated admission counters, so a promoted standby resumes draining
+// exactly where the primary stopped.
+func TestApplyReplicaRebuildsAdmissionQueue(t *testing.T) {
+	clock := sim.NewVirtualClock()
+	g := New("test", clock, orb.New())
+	g.BecomeStandby(StandbyConfig{})
+	defer g.Stop()
+
+	g.HandleReplica(replicaBatch{
+		ClusterID: "test",
+		Apps:      []appRecord{{ID: "app-1"}, {ID: "app-2"}},
+		Sched: &schedRecord{
+			QueuedIDs: []string{"app-1", "app-2", "app-lost"},
+			Accepted:  3,
+			Rejected:  1,
+			Peak:      3,
+			Batches:   2,
+			MaxBatch:  2,
+		},
+	})
+
+	g.mu.Lock()
+	ids := make([]string, len(g.admitQ))
+	for i, app := range g.admitQ {
+		ids[i] = app.id
+	}
+	g.mu.Unlock()
+	if len(ids) != 2 || ids[0] != "app-1" || ids[1] != "app-2" {
+		t.Fatalf("rebuilt admission queue = %v, want [app-1 app-2] (app-lost dropped)", ids)
+	}
+
+	st := g.Stats()
+	if st.AdmissionQueued != 3 || st.AdmissionRejected != 1 || st.AdmissionPeakDepth != 3 ||
+		st.SchedulerBatches != 2 || st.MaxBatchSize != 2 {
+		t.Fatalf("replicated admission counters = %+v", st)
+	}
+	if st.AdmissionQueueDepth != 2 {
+		t.Fatalf("AdmissionQueueDepth = %d, want 2 (resolved entries only)", st.AdmissionQueueDepth)
+	}
+
+	// A later batch with no scheduler state must leave the queue untouched —
+	// the section is a full snapshot, not a delta, and is only sent when the
+	// primary has something to report.
+	g.HandleReplica(replicaBatch{ClusterID: "test", Apps: []appRecord{{ID: "app-3"}}})
+	g.mu.Lock()
+	depth := len(g.admitQ)
+	g.mu.Unlock()
+	if depth != 2 {
+		t.Fatalf("batch without Sched changed queue depth to %d", depth)
+	}
+}
+
+// TestReplicateSchedLockedSnapshotsQueue checks the primary half: the
+// enqueued record carries the live queue IDs and counters at flush time.
+func TestReplicateSchedLockedSnapshotsQueue(t *testing.T) {
+	clock := sim.NewVirtualClock()
+	g := New("test", clock, orb.New())
+	defer g.Stop()
+
+	g.mu.Lock()
+	g.repl = newReplicator(g, orb.ObjectRef{}, time.Second)
+	g.admitQ = append(g.admitQ, &appInfo{id: "app-9"})
+	g.stats.AdmissionQueued = 5
+	g.stats.AdmissionRejected = 2
+	g.replicateSchedLocked()
+	rec := g.repl.sched
+	g.mu.Unlock()
+
+	if rec == nil {
+		t.Fatal("replicateSchedLocked enqueued nothing")
+	}
+	if len(rec.QueuedIDs) != 1 || rec.QueuedIDs[0] != "app-9" {
+		t.Fatalf("QueuedIDs = %v", rec.QueuedIDs)
+	}
+	if rec.Accepted != 5 || rec.Rejected != 2 {
+		t.Fatalf("counters = %+v", *rec)
+	}
+}

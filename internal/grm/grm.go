@@ -53,6 +53,16 @@ type Stats struct {
 	StaleBatchesRejected  int // replica batches refused for a stale epoch
 	ReplicaDecodeFailures int // corrupt log entries dropped instead of applied
 	UpdatesRefused        int // information updates refused while not leader
+	// Admission pipeline counters.
+	AdmissionQueued     int // submissions accepted into the admission queue
+	AdmissionRejected   int // submissions refused with ErrAdmissionFull
+	AdmissionQueueDepth int // current queue depth (gauge)
+	AdmissionPeakDepth  int // high-water mark of the queue depth
+	SchedulerBatches    int // admission batches drained by the matcher
+	LastBatchSize       int // size of the most recent batch (gauge)
+	MaxBatchSize        int // largest batch drained so far
+	SnapshotHits        int // candidate queries served from a batch snapshot
+	SnapshotMisses      int // candidate queries that hit the trader
 }
 
 // nodeLiveness is the failure detector's record of one node's heartbeats.
@@ -117,8 +127,9 @@ type GRM struct {
 	replEvery    time.Duration // standby replication flush cadence
 
 	// mu guards apps, nodes, seq, stats, stopped, started, timers, role,
-	// repl, onPromote, promoting, epoch, elect and the repl* heartbeat
-	// fields. It must be released
+	// repl, onPromote, promoting, epoch, elect, the repl* heartbeat fields
+	// and the admission-queue fields (admitQ, draining, drainDone,
+	// drainerRunning). It must be released
 	// before any protocol RPC (Reserve/Execute/...): negotiation blocks on
 	// remote LRMs and may itself re-enter the GRM. The replication stream
 	// obeys the same rule: enqueues under mu are lock-only (g.mu → repl.mu),
@@ -149,6 +160,21 @@ type GRM struct {
 	replLastBatch time.Time
 	replGap       time.Duration
 	replBatches   int
+
+	// Admission pipeline: Submit enqueues into the bounded admitQ and the
+	// queue is drained in batches by matchBatch — synchronously from Submit
+	// by default, or by the asyncDrain goroutine under WithAsyncAdmission.
+	// draining is the single-drainer latch; drainDone is closed when the
+	// current drainer releases it so waiting submitters can re-check the
+	// queue without holding mu across a batch.
+	admitLimit     int
+	admitBatch     int
+	asyncAdmit     bool
+	admitQ         []*appInfo
+	draining       bool
+	drainDone      chan struct{}
+	drainerRunning bool
+	drainWG        sync.WaitGroup
 }
 
 // Option configures a GRM.
@@ -229,6 +255,8 @@ func New(clusterID string, clock sim.Clock, inv orb.Invoker, opts ...Option) *GR
 		backboneMbps: 10,
 		apps:         make(map[string]*appInfo),
 		nodes:        make(map[string]*nodeLiveness),
+		admitLimit:   DefaultAdmissionLimit,
+		admitBatch:   DefaultAdmissionBatch,
 	}
 	g.trader = trading.NewService(clock.Now)
 	for _, opt := range opts {
@@ -293,6 +321,9 @@ func (g *GRM) Stop() {
 	repl := g.repl
 	g.repl = nil
 	g.mu.Unlock()
+	// The async drainer observes stopped at its next loop iteration; wait
+	// for it so Stop leaves no scheduling goroutine behind.
+	g.drainWG.Wait()
 	if repl != nil {
 		repl.stop()
 	}
@@ -406,13 +437,24 @@ func (g *GRM) touchLivenessLocked(s protocol.NodeStatus, now time.Time) {
 // KnownNodes returns the number of live node offers.
 func (g *GRM) KnownNodes() int { return g.trader.Count(NodeStatusType) }
 
-// Submit registers an application and attempts an immediate placement. The
-// returned ID identifies the app in AppStatus.
+// Submit registers an application and enqueues it into the bounded
+// admission queue. In the default synchronous mode the queue is drained
+// before Submit returns — an immediate placement attempt, exactly the
+// seed's submit-then-place semantics. Under WithAsyncAdmission Submit
+// returns as soon as the app is queued and a background drainer batches
+// placements. A full queue rejects with ErrAdmissionFull. The returned ID
+// identifies the app in AppStatus.
 func (g *GRM) Submit(spec protocol.ApplicationSpec) (string, error) {
 	if err := spec.Validate(); err != nil {
 		return "", err
 	}
 	g.mu.Lock()
+	if len(g.admitQ) >= g.admitLimit {
+		g.stats.AdmissionRejected++
+		g.replicateSchedLocked()
+		g.mu.Unlock()
+		return "", ErrAdmissionFull
+	}
 	g.seq++
 	id := fmt.Sprintf("%s-app-%d", g.clusterID, g.seq)
 	app := &appInfo{
@@ -429,10 +471,20 @@ func (g *GRM) Submit(spec protocol.ApplicationSpec) (string, error) {
 	}
 	g.apps[id] = app
 	g.stats.Submissions++
+	g.stats.AdmissionQueued++
+	g.admitQ = append(g.admitQ, app)
+	g.stats.AdmissionQueueDepth = len(g.admitQ)
+	g.stats.AdmissionPeakDepth = max(g.stats.AdmissionPeakDepth, len(g.admitQ))
 	g.replicateAppLocked(app)
+	g.replicateSchedLocked()
+	async := g.asyncAdmit
 	g.mu.Unlock()
 
-	g.scheduleApp(app)
+	if async {
+		g.kickDrain()
+	} else {
+		g.drainAdmission()
+	}
 	return id, nil
 }
 
@@ -448,6 +500,7 @@ func (g *GRM) SchedulePending() {
 	if standby {
 		return
 	}
+	g.drainAdmission()
 	g.detectFailures()
 	g.mu.Lock()
 	apps := make([]*appInfo, 0, len(g.apps))
@@ -456,13 +509,19 @@ func (g *GRM) SchedulePending() {
 	}
 	g.mu.Unlock()
 	sort.Slice(apps, func(i, j int) bool { return apps[i].id < apps[j].id })
+	mc := g.newMatchCtx()
 	for _, a := range apps {
-		g.scheduleApp(a)
+		g.scheduleApp(a, mc)
 	}
+	g.mu.Lock()
+	g.stats.SnapshotHits += mc.hits
+	g.stats.SnapshotMisses += mc.misses
+	g.mu.Unlock()
 }
 
-// scheduleApp places an app's pending tasks according to its kind.
-func (g *GRM) scheduleApp(app *appInfo) {
+// scheduleApp places an app's pending tasks according to its kind. A
+// non-nil mc shares trader snapshots across the calls of one batch.
+func (g *GRM) scheduleApp(app *appInfo, mc *matchCtx) {
 	g.mu.Lock()
 	pending := app.pendingTasks()
 	g.mu.Unlock()
@@ -471,12 +530,12 @@ func (g *GRM) scheduleApp(app *appInfo) {
 	}
 	switch {
 	case app.spec.Topology != nil:
-		g.scheduleTopology(app, pending)
+		g.scheduleTopology(app, pending, mc)
 	case app.spec.Kind == protocol.AppBSP:
-		g.scheduleGang(app, pending)
+		g.scheduleGang(app, pending, mc)
 	default:
 		for _, t := range pending {
-			if err := g.placeTask(app, t, nil); err != nil {
+			if err := g.placeTask(app, t, nil, mc); err != nil {
 				g.mu.Lock()
 				g.stats.PlacementFailures++
 				g.mu.Unlock()
@@ -486,12 +545,16 @@ func (g *GRM) scheduleApp(app *appInfo) {
 }
 
 // candidates queries the trader for offers matching the app's requirements.
-func (g *GRM) candidates(spec protocol.ApplicationSpec) ([]trading.Offer, error) {
-	q := trading.Query{
+// With a matchCtx the query is served from the batch snapshot cache when the
+// trader is unchanged; with nil it always hits the trader directly.
+func (g *GRM) candidates(spec protocol.ApplicationSpec, mc *matchCtx) ([]trading.Offer, error) {
+	if mc != nil {
+		return mc.candidates(spec)
+	}
+	offers, err := g.trader.SelectShared(trading.Query{
 		ServiceType: NodeStatusType,
 		Constraint:  buildConstraint(spec),
-	}
-	offers, err := g.trader.Select(q)
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -502,8 +565,8 @@ func (g *GRM) candidates(spec protocol.ApplicationSpec) ([]trading.Offer, error)
 // task: candidate selection from the trader hint, direct negotiation with
 // each candidate LRM, reservation, then execution binding. A non-nil
 // exclude set skips named nodes.
-func (g *GRM) placeTask(app *appInfo, t *taskInfo, exclude map[string]bool) error {
-	ordered, err := g.candidates(app.spec)
+func (g *GRM) placeTask(app *appInfo, t *taskInfo, exclude map[string]bool, mc *matchCtx) error {
+	ordered, err := g.candidates(app.spec, mc)
 	if err != nil {
 		return err
 	}
@@ -565,8 +628,8 @@ func (g *GRM) placeTask(app *appInfo, t *taskInfo, exclude map[string]bool) erro
 // scheduleGang places a BSP app all-or-nothing: every pending process must
 // obtain a reservation before any executes; otherwise the grants are left
 // to expire and the app stays pending.
-func (g *GRM) scheduleGang(app *appInfo, pending []*taskInfo) {
-	ordered, err := g.candidates(app.spec)
+func (g *GRM) scheduleGang(app *appInfo, pending []*taskInfo, mc *matchCtx) {
+	ordered, err := g.candidates(app.spec, mc)
 	if err != nil {
 		g.log.Warn("candidate query failed", "app", app.id, "err", err)
 		return
@@ -868,7 +931,7 @@ func (g *GRM) HandleNotify(ev protocol.TaskEvent) {
 
 	if requeue {
 		// Try immediate re-placement, avoiding the node that evicted us.
-		_ = g.placeTask(app, task, map[string]bool{ev.NodeID: true})
+		_ = g.placeTask(app, task, map[string]bool{ev.NodeID: true}, nil)
 	}
 }
 

@@ -66,6 +66,10 @@ type BestFit struct{}
 // Name implements Policy.
 func (BestFit) Name() string { return "best-fit" }
 
+// pureOrder marks BestFit's Order as stateless, enabling per-batch
+// candidate caching in the admission matcher.
+func (BestFit) pureOrder() {}
+
 // Order implements Policy.
 func (BestFit) Order(offers []trading.Offer, _ *sim.RNG) []trading.Offer {
 	out := append([]trading.Offer(nil), offers...)
@@ -86,6 +90,10 @@ type UsageAware struct{}
 
 // Name implements Policy.
 func (UsageAware) Name() string { return "usage-aware" }
+
+// pureOrder marks UsageAware's Order as stateless, enabling per-batch
+// candidate caching in the admission matcher.
+func (UsageAware) pureOrder() {}
 
 // Order implements Policy.
 func (UsageAware) Order(offers []trading.Offer, _ *sim.RNG) []trading.Offer {

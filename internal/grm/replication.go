@@ -59,6 +59,10 @@ type replicaBatch struct {
 	Nodes     []protocol.NodeStatus
 	NodesGone []nodeGone
 	Apps      []appRecord
+	// Sched, when present, is the latest admission-queue snapshot. Optional
+	// (bool-guarded on the wire) so batches from pre-admission primaries
+	// still decode.
+	Sched *schedRecord
 }
 
 // nodeGone records a node the primary's failure detector declared dead; the
@@ -66,6 +70,52 @@ type replicaBatch struct {
 type nodeGone struct {
 	NodeID string
 	Ref    orb.ObjectRef
+}
+
+// schedRecord is the replicated admission-pipeline state: the IDs still
+// waiting in the admission queue plus the backpressure counters, so a
+// promoted standby resumes draining exactly where the primary stopped
+// instead of silently dropping queued-but-unplaced applications. Coalesced
+// latest-wins: only the newest snapshot per flush matters.
+type schedRecord struct {
+	QueuedIDs []string
+	Accepted  int
+	Rejected  int
+	Peak      int
+	Batches   int
+	MaxBatch  int
+}
+
+func (r schedRecord) encode(e *orb.Encoder) {
+	e.PutU32(uint32(len(r.QueuedIDs)))
+	for _, id := range r.QueuedIDs {
+		e.PutString(id)
+	}
+	e.PutInt(r.Accepted)
+	e.PutInt(r.Rejected)
+	e.PutInt(r.Peak)
+	e.PutInt(r.Batches)
+	e.PutInt(r.MaxBatch)
+}
+
+func decodeSchedRecord(d *orb.Decoder) (schedRecord, error) {
+	var r schedRecord
+	n := d.U32()
+	if err := d.Err(); err != nil {
+		return schedRecord{}, err
+	}
+	if n > orb.MaxSliceLen {
+		return schedRecord{}, orb.Errorf(orb.CodeMarshal, "sched record with %d queued apps", n)
+	}
+	for i := uint32(0); i < n; i++ {
+		r.QueuedIDs = append(r.QueuedIDs, d.String())
+	}
+	r.Accepted = d.Int()
+	r.Rejected = d.Int()
+	r.Peak = d.Int()
+	r.Batches = d.Int()
+	r.MaxBatch = d.Int()
+	return r, d.Err()
 }
 
 func (r taskRecord) encode(e *orb.Encoder) {
@@ -145,6 +195,12 @@ func (b replicaBatch) encode(e *orb.Encoder) {
 	for _, a := range b.Apps {
 		a.encode(e)
 	}
+	if b.Sched != nil {
+		e.PutBool(true)
+		b.Sched.encode(e)
+	} else {
+		e.PutBool(false)
+	}
 }
 
 func decodeReplicaBatch(d *orb.Decoder) (replicaBatch, error) {
@@ -191,6 +247,13 @@ func decodeReplicaBatch(d *orb.Decoder) (replicaBatch, error) {
 		}
 		b.Apps = append(b.Apps, a)
 	}
+	if d.Bool() {
+		s, err := decodeSchedRecord(d)
+		if err != nil {
+			return replicaBatch{}, err
+		}
+		b.Sched = &s
+	}
 	return b, d.Err()
 }
 
@@ -210,13 +273,15 @@ type replicator struct {
 	// Immutable after construction.
 	send func(replicaBatch) error
 
-	// mu guards the pending maps, seq, stats, failures, stopped and timers.
+	// mu guards the pending maps, sched, seq, stats, failures, stopped and
+	// timers.
 	//
-	//lint:guards nodes,nodesGone,apps,seq,stats,failures,stopped,timers
+	//lint:guards nodes,nodesGone,apps,sched,seq,stats,failures,stopped,timers
 	mu        sync.Mutex
 	nodes     map[string]protocol.NodeStatus
 	nodesGone map[string]orb.ObjectRef
 	apps      map[string]appRecord
+	sched     *schedRecord
 	seq       int
 	stats     ReplStats
 	failures  int // consecutive flush failures; reset by any success
@@ -301,6 +366,12 @@ func (r *replicator) enqueueApp(rec appRecord) {
 	r.apps[rec.ID] = rec
 }
 
+func (r *replicator) enqueueSched(rec schedRecord) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sched = &rec
+}
+
 func (r *replicator) setSeq(seq int) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -373,12 +444,15 @@ func (r *replicator) flush() {
 	for _, id := range appIDs {
 		batch.Apps = append(batch.Apps, r.apps[id])
 	}
+	batch.Sched = r.sched
 	drainedNodes := r.nodes
 	drainedGone := r.nodesGone
 	drainedApps := r.apps
+	drainedSched := r.sched
 	r.nodes = make(map[string]protocol.NodeStatus)
 	r.nodesGone = make(map[string]orb.ObjectRef)
 	r.apps = make(map[string]appRecord)
+	r.sched = nil
 	r.mu.Unlock()
 
 	err := r.send(batch)
@@ -407,6 +481,9 @@ func (r *replicator) flush() {
 			if _, newer := r.apps[id]; !newer {
 				r.apps[id] = rec
 			}
+		}
+		if r.sched == nil {
+			r.sched = drainedSched
 		}
 		return
 	}

@@ -83,6 +83,7 @@ func (g *GRM) AttachStandby(ref orb.ObjectRef) {
 		repl.enqueueApp(buildAppRecordLocked(g.apps[id]))
 	}
 	repl.setSeq(g.seq)
+	g.replicateSchedLocked()
 	g.mu.Unlock()
 	if old != nil {
 		old.stop()
@@ -230,6 +231,23 @@ func (g *GRM) applyReplica(b replicaBatch, enforceEpoch bool) {
 	for _, rec := range b.Apps {
 		g.apps[rec.ID] = appFromRecord(rec)
 	}
+	if b.Sched != nil {
+		// Rebuild the admission queue after the apps above, so every queued
+		// ID resolves; unknown IDs (app record lost to coalescing) are
+		// dropped — SchedulePending re-covers them from g.apps anyway.
+		g.admitQ = g.admitQ[:0]
+		for _, id := range b.Sched.QueuedIDs {
+			if app, ok := g.apps[id]; ok {
+				g.admitQ = append(g.admitQ, app)
+			}
+		}
+		g.stats.AdmissionQueued = b.Sched.Accepted
+		g.stats.AdmissionRejected = b.Sched.Rejected
+		g.stats.AdmissionPeakDepth = b.Sched.Peak
+		g.stats.SchedulerBatches = b.Sched.Batches
+		g.stats.MaxBatchSize = b.Sched.MaxBatch
+		g.stats.AdmissionQueueDepth = len(g.admitQ)
+	}
 	for _, gone := range b.NodesGone {
 		delete(g.nodes, gone.NodeID)
 	}
@@ -338,6 +356,27 @@ func (g *GRM) replicateAppLocked(app *appInfo) {
 		g.repl.enqueueApp(buildAppRecordLocked(app))
 		g.repl.setSeq(g.seq)
 	}
+}
+
+// replicateSchedLocked forwards the admission-queue snapshot and counters to
+// the standby, if one is attached. Caller holds g.mu; the enqueue never
+// blocks (lock order g.mu → repl.mu).
+func (g *GRM) replicateSchedLocked() {
+	if g.repl == nil {
+		return
+	}
+	rec := schedRecord{
+		QueuedIDs: make([]string, len(g.admitQ)),
+		Accepted:  g.stats.AdmissionQueued,
+		Rejected:  g.stats.AdmissionRejected,
+		Peak:      g.stats.AdmissionPeakDepth,
+		Batches:   g.stats.SchedulerBatches,
+		MaxBatch:  g.stats.MaxBatchSize,
+	}
+	for i, app := range g.admitQ {
+		rec.QueuedIDs[i] = app.id
+	}
+	g.repl.enqueueSched(rec)
 }
 
 // sortedNodeIDsLocked returns the node IDs sorted. Caller holds g.mu.

@@ -16,9 +16,9 @@ import (
 // g.backboneMbps. A group must be placed entirely within LANs whose nodes
 // meet the group's intra-group bandwidth; distinct groups may land on
 // different LANs only when the backbone meets the inter-group bandwidth.
-func (g *GRM) scheduleTopology(app *appInfo, pending []*taskInfo) {
+func (g *GRM) scheduleTopology(app *appInfo, pending []*taskInfo, mc *matchCtx) {
 	topo := app.spec.Topology
-	ordered, err := g.candidates(app.spec)
+	ordered, err := g.candidates(app.spec, mc)
 	if err != nil {
 		g.log.Warn("topology candidate query failed", "app", app.id, "err", err)
 		return

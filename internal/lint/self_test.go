@@ -128,6 +128,8 @@ func TestPerformanceContractsHold(t *testing.T) {
 		"orb.(*Loopback).Invoke",
 		"orb.(*OpMux).Dispatch",
 		"trading.(*Service).Select",
+		"trading.(*Service).SelectShared",
+		"grm.(*matchCtx).lookup",
 		"orb.(*clientConn).sendLoop",
 		"orb.(*Encoder).PutString",
 		"orb.(*Decoder).String",

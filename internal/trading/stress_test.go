@@ -1,0 +1,259 @@
+package trading
+
+import (
+	"math/rand"
+	"os"
+	"reflect"
+	"strconv"
+	"sync"
+	"testing"
+
+	"integrade/internal/constraint"
+)
+
+// These tests cover the sharded copy-on-write index added with the batched
+// scheduling path: batch export semantics, the version counter the GRM's
+// snapshot cache keys on, the shared-read contract of SelectShared, and a
+// seeded concurrent stress of every write path against the lock-free reads.
+
+func TestExportBatchSemantics(t *testing.T) {
+	s := NewService(nil)
+	batch := make([]Offer, 10)
+	for i := range batch {
+		batch[i] = nodeOffer(i, float64(100*(i+1)), 512)
+	}
+	ids, err := s.ExportBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 10 {
+		t.Fatalf("ids = %d, want 10", len(ids))
+	}
+	if got := s.Count("NodeStatus"); got != 10 {
+		t.Fatalf("Count = %d, want 10", got)
+	}
+	for i, id := range ids {
+		off, err := s.Describe(id)
+		if err != nil {
+			t.Fatalf("Describe(%s): %v", id, err)
+		}
+		if off.Ref != nodeRef(i) {
+			t.Fatalf("offer %d ref = %v", i, off.Ref)
+		}
+	}
+
+	// Batch export preserves the global export order: All must return the
+	// batch in submission order, interleaved correctly with prior exports.
+	all := s.All("NodeStatus")
+	for i := range all {
+		if all[i].Ref != nodeRef(i) {
+			t.Fatalf("All[%d].Ref = %v, want %v", i, all[i].Ref, nodeRef(i))
+		}
+	}
+
+	// A typeless offer anywhere in the batch rejects the whole batch.
+	if _, err := s.ExportBatch([]Offer{nodeOffer(90, 1, 1), {}}); err == nil {
+		t.Fatal("batch with typeless offer accepted")
+	}
+	if got := s.Count("NodeStatus"); got != 10 {
+		t.Fatalf("Count after rejected batch = %d, want 10 (atomic validation)", got)
+	}
+}
+
+func TestVersionBumpsOnWritesOnly(t *testing.T) {
+	s := NewService(nil)
+	v0 := s.Version()
+
+	id, err := s.Export(nodeOffer(1, 1000, 512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Version() == v0 {
+		t.Fatal("Export did not bump the version")
+	}
+
+	v := s.Version()
+	if _, err := s.Select(Query{ServiceType: "NodeStatus"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SelectShared(Query{ServiceType: "NodeStatus"}); err != nil {
+		t.Fatal(err)
+	}
+	s.Count("NodeStatus")
+	s.All("NodeStatus")
+	if s.Version() != v {
+		t.Fatal("a read path bumped the version")
+	}
+
+	writes := []struct {
+		name string
+		op   func() error
+	}{
+		{"ExportKeyed", func() error { _, err := s.ExportKeyed(nodeOffer(50, 900, 512)); return err }},
+		{"ExportBatch", func() error { _, err := s.ExportBatch([]Offer{nodeOffer(2, 1, 1)}); return err }},
+		{"Withdraw", func() error { return s.Withdraw(id) }},
+		{"WithdrawRef", func() error { s.WithdrawRef("NodeStatus", nodeRef(50)); return nil }},
+	}
+	for _, w := range writes {
+		v = s.Version()
+		if err := w.op(); err != nil {
+			t.Fatalf("%s: %v", w.name, err)
+		}
+		if s.Version() == v {
+			t.Fatalf("%s did not bump the version", w.name)
+		}
+	}
+}
+
+// TestSelectSharedSharesProperties pins the two halves of the read
+// contract: Select hands every caller its own deep copy of the property
+// map, while SelectShared returns the index's own map — zero-copy, strictly
+// read-only — which is what the GRM batch matcher caches across a batch.
+func TestSelectSharedSharesProperties(t *testing.T) {
+	s := NewService(nil)
+	id, err := s.Export(nodeOffer(1, 1000, 512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	stored := s.ids[id].offer.Properties
+	s.mu.Unlock()
+
+	shared, err := s.SelectShared(Query{ServiceType: "NodeStatus"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shared) != 1 {
+		t.Fatalf("SelectShared = %d offers", len(shared))
+	}
+	if reflect.ValueOf(shared[0].Properties).Pointer() != reflect.ValueOf(stored).Pointer() {
+		t.Fatal("SelectShared copied the property map; want the stored map shared")
+	}
+
+	copied, err := s.Select(Query{ServiceType: "NodeStatus"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.ValueOf(copied[0].Properties).Pointer() == reflect.ValueOf(stored).Pointer() {
+		t.Fatal("Select returned the stored property map; want a private copy")
+	}
+	copied[0].Properties["mips"] = constraint.Number(-1)
+	after, err := s.Describe(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Properties["mips"] != constraint.Number(1000) {
+		t.Fatal("mutating a Select result corrupted the stored offer")
+	}
+}
+
+// TestConcurrentTradingStress races every write path (Export, ExportKeyed,
+// ExportBatch, Withdraw, WithdrawRef) against the lock-free read paths
+// (Select, SelectShared, Count, All, Describe) under the race detector.
+// CHAOS_SEED picks the operation mix per goroutine, mirroring the seeded
+// suites in `make chaos`; the final consistency check verifies the id map
+// and the shard snapshots agree after the storm.
+func TestConcurrentTradingStress(t *testing.T) {
+	seed := int64(1)
+	if s := os.Getenv("CHAOS_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("CHAOS_SEED=%q: %v", s, err)
+		}
+		seed = v
+	}
+	s := NewService(nil)
+	const (
+		writers = 4
+		readers = 4
+		iters   = 300
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)))
+			var owned []string
+			for i := 0; i < iters; i++ {
+				switch rng.Intn(5) {
+				case 0:
+					id, err := s.Export(nodeOffer(w*10000+i, float64(rng.Intn(2000)), 512))
+					if err != nil {
+						t.Errorf("Export: %v", err)
+						return
+					}
+					owned = append(owned, id)
+				case 1:
+					if _, err := s.ExportKeyed(nodeOffer(w, float64(rng.Intn(2000)), 256)); err != nil {
+						t.Errorf("ExportKeyed: %v", err)
+						return
+					}
+				case 2:
+					batch := []Offer{
+						nodeOffer(w*10000+i, 100, 128),
+						nodeOffer(w*10000+i+5000, 200, 128),
+					}
+					ids, err := s.ExportBatch(batch)
+					if err != nil {
+						t.Errorf("ExportBatch: %v", err)
+						return
+					}
+					owned = append(owned, ids...)
+				case 3:
+					if len(owned) > 0 {
+						// Withdraw may race a keyed upsert that evicted the
+						// same ref; ErrUnknownOffer is then legitimate.
+						s.Withdraw(owned[len(owned)-1])
+						owned = owned[:len(owned)-1]
+					}
+				case 4:
+					s.WithdrawRef("NodeStatus", nodeRef(w*10000+rng.Intn(iters)))
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + 100 + int64(r)))
+			for i := 0; i < iters; i++ {
+				switch rng.Intn(4) {
+				case 0:
+					if _, err := s.Select(Query{ServiceType: "NodeStatus", Constraint: "mips >= 500"}); err != nil {
+						t.Errorf("Select: %v", err)
+						return
+					}
+				case 1:
+					if _, err := s.SelectShared(Query{ServiceType: "NodeStatus", Preference: "mips"}); err != nil {
+						t.Errorf("SelectShared: %v", err)
+						return
+					}
+				case 2:
+					s.Count("NodeStatus")
+				case 3:
+					s.All("NodeStatus")
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+
+	// Consistency: every surviving id resolves, and the merged snapshot view
+	// agrees with the id map's count for the type.
+	all := s.All("NodeStatus")
+	if got := s.Count("NodeStatus"); got != len(all) {
+		t.Fatalf("Count = %d but All returned %d offers", got, len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if offerSeq(all[i-1].ID) >= offerSeq(all[i].ID) {
+			t.Fatalf("All not in export order at %d: %s then %s", i, all[i-1].ID, all[i].ID)
+		}
+	}
+	for _, off := range all {
+		if _, err := s.Describe(off.ID); err != nil {
+			t.Fatalf("surviving offer %s does not resolve: %v", off.ID, err)
+		}
+	}
+}

@@ -7,13 +7,24 @@
 // uses the JacORB Trader to store the information it receives from the
 // LRMs." Each LRM status update becomes an offer upsert; scheduling is a
 // constraint query.
+//
+// The offer index is sharded copy-on-write (DESIGN.md §16): each service
+// type owns shardsPerType shards keyed by the exporting object reference,
+// and each shard publishes its live offers as an immutable snapshot behind
+// an atomic.Pointer. Select loads the snapshots with no locks and merges
+// them in export-sequence order, so readers never contend with writers and
+// concurrent Export/Withdraw on different shards never contend with each
+// other. Writers rebuild only their own shard's snapshot (copy, mutate the
+// copy, swap under the shard mutex — the PR 4 ORB registry pattern).
 package trading
 
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"integrade/internal/constraint"
@@ -22,6 +33,13 @@ import (
 
 // ObjectKey is the adapter key under which the trading servant registers.
 const ObjectKey = "trading"
+
+// shardsPerType is the number of copy-on-write shards per service type.
+// Offers are assigned to shards by a hash of their exporting reference, so
+// the Information Update Protocol's keyed upserts (remove + re-export of one
+// node's offer) rebuild 1/shardsPerType of the type's index instead of all
+// of it, and updates for different nodes proceed in parallel.
+const shardsPerType = 64
 
 // Service errors.
 var (
@@ -47,6 +65,11 @@ type Offer struct {
 	seq int
 }
 
+// expired reports whether the offer is past its expiry at now.
+func (o *Offer) expired(now time.Time) bool {
+	return !o.Expires.IsZero() && !now.IsZero() && !o.Expires.After(now)
+}
+
 // Query selects offers of a service type.
 type Query struct {
 	ServiceType string
@@ -65,22 +88,80 @@ type Query struct {
 // so Select hits the cache on all but the first sight of a source.
 var compileCache = constraint.NewCache(0)
 
+// shardSnap is one shard's immutable published state: the live offers in
+// ascending export-sequence order. Snapshots are never mutated after the
+// Store; writers build a fresh one.
+type shardSnap struct {
+	offers []*Offer
+}
+
+// emptySnap is the shared snapshot of an offer-less shard; it is never
+// mutated, so every empty shard can publish the same pointer.
+var emptySnap = &shardSnap{}
+
+// shard is one copy-on-write slice of a service type's offer index.
+type shard struct {
+	// mu serializes snapshot rebuilds and guards byRef. Readers never take
+	// it: they load snap and walk the immutable snapshot.
+	//
+	//lint:guards snap
+	mu   sync.Mutex
+	snap atomic.Pointer[shardSnap]
+	// byRef is the per-ref reverse index: every live offer in this shard's
+	// snapshot, grouped by exporting reference in ascending seq order. It
+	// makes keyed upserts and WithdrawRef O(offers-per-ref) instead of a
+	// full-index scan. Mutated in place under mu; never read without it.
+	byRef map[orb.ObjectRef][]*Offer
+}
+
+// typeShards is one service type's shard set. The array is fixed at
+// construction; only the snapshots inside the shards change.
+type typeShards struct {
+	shards [shardsPerType]shard
+}
+
+// refShard maps an exporting reference to its shard index within a type.
+func refShard(ref orb.ObjectRef) int {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(ref.Endpoint.Net))
+	_, _ = h.Write([]byte(ref.Endpoint.Addr))
+	_, _ = h.Write([]byte(ref.Key))
+	return int(h.Sum32() % shardsPerType)
+}
+
+// offerLoc is the registry's record of where one offer lives.
+type offerLoc struct {
+	offer *Offer
+	shard *shard
+}
+
 // Service is the in-memory trader. Safe for concurrent use.
 //
-// Offers are indexed two ways: by ID for describe/withdraw, and per service
-// type as a slice ordered by export sequence. Keeping the slice sorted at
-// insert and remove is what lets Select iterate candidates in deterministic
-// base order with no per-query sort (DESIGN.md §13).
+// Offers are indexed three ways: a registry by ID for describe/withdraw,
+// per-(type, ref-hash) shard snapshots holding the live offers in ascending
+// seq order (the lock-free read path), and a per-shard reverse index by
+// exporting reference (the keyed-upsert/eviction path). Keeping every shard
+// sorted by seq is what lets Select merge shards into the exact global
+// export order with no per-query sort (DESIGN.md §13, §16).
 type Service struct {
-	// mu guards offers, byType and seq.
-	mu     sync.RWMutex
-	offers map[string]*Offer // by ID
-	// byType holds, per service type, the live offers in ascending seq
-	// order. Export appends (seq is monotonic, so append preserves order);
-	// removeLocked deletes by binary search on seq.
-	byType map[string][]*Offer
-	seq    int
-	now    func() time.Time
+	// seq is the global export sequence; atomic so concurrent exports on
+	// different shards never serialize on it.
+	seq atomic.Int64
+	// version counts index mutations. Readers that cache Select results
+	// (the GRM's batch matcher) revalidate against it: an unchanged version
+	// means the snapshot they cached is still the live one.
+	version atomic.Uint64
+
+	// mu guards ids and serializes growth of the types map, which is
+	// copy-on-write: writers copy the map, add the new type's shard set and
+	// swap; readers load it lock-free.
+	//
+	//lint:guards types
+	mu    sync.Mutex
+	ids   map[string]offerLoc
+	types atomic.Pointer[map[string]*typeShards]
+
+	now func() time.Time
 }
 
 // NewService returns an empty trader. The now function drives offer expiry;
@@ -89,11 +170,50 @@ func NewService(now func() time.Time) *Service {
 	if now == nil {
 		now = func() time.Time { return time.Time{} }
 	}
-	return &Service{
-		offers: make(map[string]*Offer),
-		byType: make(map[string][]*Offer),
-		now:    now,
+	s := &Service{
+		ids: make(map[string]offerLoc),
+		now: now,
 	}
+	types := make(map[string]*typeShards)
+	s.types.Store(&types)
+	return s
+}
+
+// Version returns the index mutation counter. Cached Select results are
+// valid only while the version is unchanged (and no cached offer has hit
+// its expiry).
+func (s *Service) Version() uint64 { return s.version.Load() }
+
+// typeIndex returns the shard set for a service type, or nil when the type
+// has never been exported. Lock-free.
+func (s *Service) typeIndex(serviceType string) *typeShards {
+	return (*s.types.Load())[serviceType]
+}
+
+// ensureType returns the shard set for a service type, creating it (one
+// copy-on-write swap of the types map) on first export of the type.
+func (s *Service) ensureType(serviceType string) *typeShards {
+	if ts := s.typeIndex(serviceType); ts != nil {
+		return ts
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.types.Load()
+	if ts := (*cur)[serviceType]; ts != nil {
+		return ts
+	}
+	ts := &typeShards{}
+	for i := range ts.shards {
+		ts.shards[i].snap.Store(emptySnap)
+		ts.shards[i].byRef = make(map[orb.ObjectRef][]*Offer)
+	}
+	next := make(map[string]*typeShards, len(*cur)+1)
+	for k, v := range *cur {
+		next[k] = v
+	}
+	next[serviceType] = ts
+	s.types.Store(&next)
+	return ts
 }
 
 // Export registers an offer and returns its ID.
@@ -101,126 +221,398 @@ func (s *Service) Export(o Offer) (string, error) {
 	if o.ServiceType == "" {
 		return "", fmt.Errorf("trading: offer without service type")
 	}
+	off := s.prepare(o)
+	sh := &s.ensureType(o.ServiceType).shards[refShard(o.Ref)]
+	removed := sh.insert(nil, off, s.now())
+	s.commit(off, sh, removed)
+	return off.ID, nil
+}
+
+// ExportKeyed upserts an offer identified by (serviceType, ref): at most one
+// offer per exporting object per type. Used by the Information Update
+// Protocol where each LRM refreshes its single status offer. The replaced
+// offer (the ref's oldest, when several exist) and its replacement live in
+// the same shard, so an upsert is a single-shard rebuild.
+func (s *Service) ExportKeyed(o Offer) (string, error) {
+	if o.ServiceType == "" {
+		return "", fmt.Errorf("trading: offer without service type")
+	}
+	off := s.prepare(o)
+	sh := &s.ensureType(o.ServiceType).shards[refShard(o.Ref)]
+	removed := sh.insert(&off.Ref, off, s.now())
+	s.commit(off, sh, removed)
+	return off.ID, nil
+}
+
+// ExportBatch registers many offers in one pass, rebuilding each touched
+// shard exactly once instead of once per offer. This is the bulk-load path:
+// priming a bench fleet or replaying a replication snapshot costs O(n)
+// instead of the O(n²/shards) of n sequential Exports.
+func (s *Service) ExportBatch(offers []Offer) ([]string, error) {
+	for i := range offers {
+		if offers[i].ServiceType == "" {
+			return nil, fmt.Errorf("trading: offer %d without service type", i)
+		}
+	}
+	ids := make([]string, len(offers))
+	buckets := make(map[*shard][]*Offer)
+	var order []*shard
+	for i := range offers {
+		off := s.prepare(offers[i])
+		ids[i] = off.ID
+		sh := &s.ensureType(off.ServiceType).shards[refShard(off.Ref)]
+		if _, seen := buckets[sh]; !seen {
+			order = append(order, sh)
+		}
+		buckets[sh] = append(buckets[sh], off)
+	}
+	now := s.now()
+	var removed []*Offer
+	for _, sh := range order {
+		adds := buckets[sh]
+		removed = append(removed, sh.insertBatch(adds, now)...)
+		s.mu.Lock()
+		for _, off := range adds {
+			s.ids[off.ID] = offerLoc{offer: off, shard: sh}
+		}
+		s.mu.Unlock()
+	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.seq++
-	o.ID = fmt.Sprintf("offer-%d", s.seq)
-	o.seq = s.seq
+	for _, off := range removed {
+		delete(s.ids, off.ID)
+	}
+	s.mu.Unlock()
+	s.version.Add(1)
+	return ids, nil
+}
+
+// prepare assigns the offer its sequence number and ID and deep-copies the
+// caller's properties.
+func (s *Service) prepare(o Offer) *Offer {
+	seq := int(s.seq.Add(1))
+	o.ID = fmt.Sprintf("offer-%d", seq)
+	o.seq = seq
 	props := make(constraint.Properties, len(o.Properties))
 	for k, v := range o.Properties {
 		props[k] = v
 	}
 	o.Properties = props
-	s.offers[o.ID] = &o
-	// seq is monotonically increasing, so appending keeps the index sorted.
-	s.byType[o.ServiceType] = append(s.byType[o.ServiceType], &o)
-	return o.ID, nil
+	return &o
 }
 
-// ExportKeyed upserts an offer identified by (serviceType, ref): at most one
-// offer per exporting object per type. Used by the Information Update
-// Protocol where each LRM refreshes its single status offer.
-func (s *Service) ExportKeyed(o Offer) (string, error) {
-	if o.ServiceType == "" {
-		return "", fmt.Errorf("trading: offer without service type")
-	}
+// commit finishes a single-offer mutation: the registry learns the new
+// offer and forgets the removed ones, and the version advances.
+func (s *Service) commit(added *Offer, sh *shard, removed []*Offer) {
 	s.mu.Lock()
-	for _, existing := range s.byType[o.ServiceType] {
-		if existing.Ref == o.Ref {
-			s.removeLocked(existing.ID)
+	if added != nil {
+		s.ids[added.ID] = offerLoc{offer: added, shard: sh}
+	}
+	for _, off := range removed {
+		delete(s.ids, off.ID)
+	}
+	s.mu.Unlock()
+	s.version.Add(1)
+}
+
+// insert is the copy-on-write writer for one new offer: under sh.mu it
+// builds a fresh snapshot without the victim (when victimOldestOf is
+// non-nil, the ref's oldest existing offer — the keyed-upsert semantics)
+// and without any offer past its expiry, appends add (its seq is the
+// highest, so append preserves order), maintains byRef, and swaps the
+// snapshot in. It returns every offer that left the snapshot — the victim
+// plus compacted expired offers — for registry cleanup.
+//
+//lint:coldpath copy-on-write shard rebuild: the writer slow path
+func (sh *shard) insert(victimOldestOf *orb.ObjectRef, add *Offer, now time.Time) []*Offer {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	var drop *Offer
+	if victimOldestOf != nil {
+		if prev := sh.byRef[*victimOldestOf]; len(prev) > 0 {
+			drop = prev[0]
+		}
+	}
+	cur := sh.snap.Load()
+	next := &shardSnap{offers: make([]*Offer, 0, len(cur.offers)+1)}
+	var removed []*Offer
+	for _, o := range cur.offers {
+		if o == drop || o.expired(now) {
+			removed = append(removed, o)
+			sh.dropRefLocked(o)
+			continue
+		}
+		next.offers = append(next.offers, o)
+	}
+	next.offers = append(next.offers, add)
+	sh.byRef[add.Ref] = append(sh.byRef[add.Ref], add)
+	sh.snap.Store(next)
+	return removed
+}
+
+// insertBatch is insert for a batch of appends sharing one snapshot swap.
+// adds must be in ascending seq order.
+//
+//lint:coldpath copy-on-write shard rebuild: the writer slow path
+func (sh *shard) insertBatch(adds []*Offer, now time.Time) []*Offer {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	cur := sh.snap.Load()
+	next := &shardSnap{offers: make([]*Offer, 0, len(cur.offers)+len(adds))}
+	var removed []*Offer
+	for _, o := range cur.offers {
+		if o.expired(now) {
+			removed = append(removed, o)
+			sh.dropRefLocked(o)
+			continue
+		}
+		next.offers = append(next.offers, o)
+	}
+	for _, add := range adds {
+		next.offers = append(next.offers, add)
+		sh.byRef[add.Ref] = append(sh.byRef[add.Ref], add)
+	}
+	sh.snap.Store(next)
+	return removed
+}
+
+// remove rebuilds the snapshot without victim (when non-nil) and without
+// anything expired.
+//
+//lint:coldpath copy-on-write shard rebuild: the writer slow path
+func (sh *shard) remove(victim *Offer, now time.Time) []*Offer {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	cur := sh.snap.Load()
+	next := &shardSnap{offers: make([]*Offer, 0, len(cur.offers))}
+	var removed []*Offer
+	for _, o := range cur.offers {
+		if o == victim || o.expired(now) {
+			removed = append(removed, o)
+			sh.dropRefLocked(o)
+			continue
+		}
+		next.offers = append(next.offers, o)
+	}
+	sh.snap.Store(next)
+	return removed
+}
+
+// removeRef rebuilds the snapshot without every offer exported by ref,
+// returning the removed offers plus how many of them were ref's. The
+// reverse index answers the no-offers case without a rebuild.
+//
+//lint:coldpath copy-on-write shard rebuild: the writer slow path
+func (sh *shard) removeRef(ref orb.ObjectRef, now time.Time) ([]*Offer, int) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	count := len(sh.byRef[ref])
+	if count == 0 {
+		return nil, 0
+	}
+	cur := sh.snap.Load()
+	next := &shardSnap{offers: make([]*Offer, 0, len(cur.offers))}
+	var removed []*Offer
+	for _, o := range cur.offers {
+		if o.Ref == ref || o.expired(now) {
+			removed = append(removed, o)
+			sh.dropRefLocked(o)
+			continue
+		}
+		next.offers = append(next.offers, o)
+	}
+	sh.snap.Store(next)
+	return removed, count
+}
+
+// dropRefLocked removes one offer from the reverse index. Caller holds
+// sh.mu.
+func (sh *shard) dropRefLocked(o *Offer) {
+	list := sh.byRef[o.Ref]
+	for i, e := range list {
+		if e == o {
+			list = append(list[:i], list[i+1:]...)
 			break
 		}
 	}
-	s.mu.Unlock()
-	return s.Export(o)
+	if len(list) == 0 {
+		delete(sh.byRef, o.Ref)
+	} else {
+		sh.byRef[o.Ref] = list
+	}
 }
 
 // Withdraw removes an offer by ID.
 func (s *Service) Withdraw(id string) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.offers[id]; !ok {
+	loc, ok := s.ids[id]
+	s.mu.Unlock()
+	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownOffer, id)
 	}
-	s.removeLocked(id)
+	sh := loc.shard
+	removed := sh.remove(loc.offer, s.now())
+	s.commit(nil, nil, removed)
+	// The registry entry survives a rebuild that compacted the offer as
+	// expired before we reached it; drop it either way.
+	s.mu.Lock()
+	delete(s.ids, id)
+	s.mu.Unlock()
 	return nil
 }
 
 // WithdrawRef removes every offer of the given type exported by ref,
-// returning the count removed.
+// returning the count removed. All of a ref's offers hash to one shard, so
+// eviction is a single-shard rebuild driven by the reverse index —
+// O(offers-per-ref), not a scan of the type's whole index.
 func (s *Service) WithdrawRef(serviceType string, ref orb.ObjectRef) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	// Collect first: removeLocked splices the very slice being iterated.
-	var ids []string
-	for _, o := range s.byType[serviceType] {
-		if o.Ref == ref {
-			ids = append(ids, o.ID)
-		}
+	ts := s.typeIndex(serviceType)
+	if ts == nil {
+		return 0
 	}
-	for _, id := range ids {
-		s.removeLocked(id)
+	sh := &ts.shards[refShard(ref)]
+	removed, count := sh.removeRef(ref, s.now())
+	if len(removed) > 0 {
+		s.commit(nil, nil, removed)
 	}
-	return len(ids)
+	return count
 }
 
 // Describe returns the offer by ID.
 func (s *Service) Describe(id string) (Offer, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	o, ok := s.offers[id]
+	s.mu.Lock()
+	loc, ok := s.ids[id]
+	s.mu.Unlock()
 	if !ok {
 		return Offer{}, fmt.Errorf("%w: %q", ErrUnknownOffer, id)
 	}
-	return cloneOffer(o), nil
+	return cloneOffer(loc.offer), nil
 }
 
 // Count returns the number of live offers of the given type ("" for all).
 func (s *Service) Count(serviceType string) int {
-	s.pruneExpired()
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if serviceType == "" {
-		return len(s.offers)
+	now := s.now()
+	if serviceType != "" {
+		return s.countType(serviceType, now)
 	}
-	return len(s.byType[serviceType])
+	total := 0
+	for t := range *s.types.Load() {
+		total += s.countType(t, now)
+	}
+	return total
+}
+
+func (s *Service) countType(serviceType string, now time.Time) int {
+	ts := s.typeIndex(serviceType)
+	if ts == nil {
+		return 0
+	}
+	n := 0
+	for i := range ts.shards {
+		for _, o := range ts.shards[i].snap.Load().offers {
+			if !o.expired(now) {
+				n++
+			}
+		}
+	}
+	return n
 }
 
 // All returns every live offer of the given type ("" for all types) in
 // export-sequence order — a deterministic snapshot for failover checks and
 // observability, bypassing constraint evaluation.
 func (s *Service) All(serviceType string) []Offer {
-	s.pruneExpired()
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	var out []Offer
 	if serviceType != "" {
-		for _, o := range s.byType[serviceType] {
-			out = append(out, cloneOffer(o))
-		}
+		s.mergeType(serviceType, func(o *Offer) { out = append(out, cloneOffer(o)) })
 		return out
 	}
-	types := make([]string, 0, len(s.byType))
-	for t := range s.byType {
+	tm := *s.types.Load()
+	types := make([]string, 0, len(tm))
+	for t := range tm {
 		types = append(types, t)
 	}
 	sort.Strings(types)
 	for _, t := range types {
-		for _, o := range s.byType[t] {
-			out = append(out, cloneOffer(o))
-		}
+		s.mergeType(t, func(o *Offer) { out = append(out, cloneOffer(o)) })
 	}
 	return out
 }
 
-// Select evaluates a query, returning matching offers best-first.
+// mergeType walks a type's live offers in ascending global seq order by
+// merging the per-shard snapshots (each already seq-sorted), invoking visit
+// for every non-expired offer.
+func (s *Service) mergeType(serviceType string, visit func(*Offer)) {
+	ts := s.typeIndex(serviceType)
+	if ts == nil {
+		return
+	}
+	now := s.now()
+	// Load every shard snapshot once; heads holds each shard's unconsumed
+	// suffix. The arrays live on the stack — no per-query allocation.
+	var heads [shardsPerType][]*Offer
+	active := 0
+	for i := range ts.shards {
+		if offers := ts.shards[i].snap.Load().offers; len(offers) > 0 {
+			heads[active] = offers
+			active++
+		}
+	}
+	for active > 0 {
+		best := 0
+		for i := 1; i < active; i++ {
+			if heads[i][0].seq < heads[best][0].seq {
+				best = i
+			}
+		}
+		o := heads[best][0]
+		if heads[best] = heads[best][1:]; len(heads[best]) == 0 {
+			active--
+			heads[best] = heads[active]
+			heads[active] = nil
+		}
+		if o.expired(now) {
+			continue
+		}
+		visit(o)
+	}
+}
+
+// Select evaluates a query, returning matching offers best-first. Each
+// returned offer is a deep copy the caller owns.
 //
 // Offers whose constraint evaluation errors (for example, a missing
 // property) simply do not match — mirroring the CORBA trader, which treats
 // such offers as failing the constraint rather than failing the query.
 //
-//lint:hotpath alloc=8 locks=4 block=0
+// The only locks on this path are the constraint compile-cache's (a miss
+// compiles once per distinct source); the offer index itself is read with
+// zero locks.
+//
+//lint:hotpath alloc=10 locks=2 block=0
 func (s *Service) Select(q Query) ([]Offer, error) {
+	out, err := s.SelectShared(q)
+	if err != nil {
+		return nil, err
+	}
+	for i := range out {
+		props := make(constraint.Properties, len(out[i].Properties))
+		for k, v := range out[i].Properties {
+			props[k] = v
+		}
+		out[i].Properties = props
+	}
+	return out, nil
+}
+
+// SelectShared is Select without the defensive deep copy: the returned
+// offers' property maps alias the live index and MUST be treated as
+// read-only. It exists for in-process hot readers — the GRM's batch matcher
+// evaluates thousands of candidates per snapshot and clones none of them.
+// The index itself is safe: snapshots are immutable, so a concurrent writer
+// swaps in a new one rather than mutating what this query walks.
+//
+//lint:hotpath alloc=8 locks=2 block=0
+func (s *Service) SelectShared(q Query) ([]Offer, error) {
 	var (
 		cons *constraint.Expr
 		pref *constraint.Expr
@@ -236,82 +628,50 @@ func (s *Service) Select(q Query) ([]Offer, error) {
 			return nil, fmt.Errorf("trading: preference: %w", err) //lint:alloc error slow path
 		}
 	}
-	s.pruneExpired()
 
-	// The per-type index is maintained in seq order, so the snapshot is
-	// already in deterministic base order — no per-query sort.
-	s.mu.RLock()
-	candidates := append([]*Offer(nil), s.byType[q.ServiceType]...)
-	s.mu.RUnlock()
-
-	type ranked struct {
-		offer *Offer
-		score float64
-	}
-	var matches []ranked
-	for _, o := range candidates {
+	// Shard merge yields candidates in ascending seq — the exact iteration
+	// order of the old single-index trader, so downstream output is
+	// byte-identical.
+	var matched []*Offer
+	var scores []float64
+	s.mergeType(q.ServiceType, func(o *Offer) {
 		if cons != nil {
 			ok, err := cons.Eval(o.Properties)
 			if err != nil || !ok {
-				continue
+				return
 			}
 		}
 		score := 0.0
 		if pref != nil {
-			v, err := pref.EvalNumber(o.Properties)
-			if err == nil {
+			if v, err := pref.EvalNumber(o.Properties); err == nil {
 				score = v
 			}
 		}
-		matches = append(matches, ranked{offer: o, score: score})
-	}
+		matched = append(matched, o)
+		scores = append(scores, score)
+	})
 	if pref != nil {
-		sort.SliceStable(matches, func(i, j int) bool {
-			return matches[i].score > matches[j].score
+		idx := make([]int, len(matched))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(i, j int) bool {
+			return scores[idx[i]] > scores[idx[j]]
 		})
+		reordered := make([]*Offer, len(matched))
+		for i, j := range idx {
+			reordered[i] = matched[j]
+		}
+		matched = reordered
 	}
-	if q.Limit > 0 && len(matches) > q.Limit {
-		matches = matches[:q.Limit]
+	if q.Limit > 0 && len(matched) > q.Limit {
+		matched = matched[:q.Limit]
 	}
-	out := make([]Offer, 0, len(matches))
-	for _, m := range matches {
-		out = append(out, cloneOffer(m.offer))
+	out := make([]Offer, 0, len(matched))
+	for _, o := range matched {
+		out = append(out, *o)
 	}
 	return out, nil
-}
-
-func (s *Service) removeLocked(id string) {
-	o, ok := s.offers[id]
-	if !ok {
-		return
-	}
-	delete(s.offers, id)
-	typed := s.byType[o.ServiceType]
-	// The index is sorted by seq, so the victim's position is a binary
-	// search away.
-	i := sort.Search(len(typed), func(i int) bool { return typed[i].seq >= o.seq }) //lint:alloc non-escaping search predicate
-	if i < len(typed) && typed[i].seq == o.seq {
-		typed = append(typed[:i], typed[i+1:]...) //lint:alloc in-place removal never grows
-	}
-	if len(typed) == 0 {
-		delete(s.byType, o.ServiceType)
-	} else {
-		s.byType[o.ServiceType] = typed
-	}
-}
-
-func (s *Service) pruneExpired() {
-	now := s.now()
-	if now.IsZero() {
-		return
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for id, o := range s.offers {
-		if !o.Expires.IsZero() && !o.Expires.After(now) {
-			s.removeLocked(id)
-		}
-	}
 }
 
 func cloneOffer(o *Offer) Offer {
