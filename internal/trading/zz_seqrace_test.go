@@ -1,0 +1,43 @@
+package trading
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"integrade/internal/constraint"
+	"integrade/internal/orb"
+)
+
+func TestSeqOrderSameShard(t *testing.T) {
+	ref := orb.ObjectRef{Endpoint: orb.Endpoint{Net: "loop", Addr: "x"}, Key: "k"}
+	for round := 0; round < 500; round++ {
+		s := NewService(nil)
+		var wg sync.WaitGroup
+		for g := 0; g < 16; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				props := constraint.Properties{}
+				// vary prepare() duration per goroutine: bigger map = longer
+				// window between seq.Add and sh.mu.Lock
+				for p := 0; p < g*8; p++ {
+					props[fmt.Sprintf("p%d", p)] = constraint.Number(float64(p))
+				}
+				for i := 0; i < 30; i++ {
+					if _, err := s.Export(Offer{ServiceType: "T", Ref: ref, Properties: props}); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		all := s.All("T")
+		for i := 1; i < len(all); i++ {
+			if all[i-1].seq >= all[i].seq {
+				t.Fatalf("round %d: out of order at %d: seq %d then %d", round, i, all[i-1].seq, all[i].seq)
+			}
+		}
+	}
+}
