@@ -6,7 +6,7 @@ FUZZ_SMOKE_TIME ?= 30s
 # Seeds the chaos target sweeps; each runs the fault-injection suite once.
 CHAOS_SEEDS ?= 1 7 42
 
-.PHONY: all build test race vet lint lint-fast interproc-lint fuzz-smoke fmt-check chaos failover election bench-orb bench-orb-check bench-sched bench-sched-check ci
+.PHONY: all build test race vet lint lint-fast interproc-lint fuzz-smoke fmt-check chaos failover election windows bench-orb bench-orb-check bench-sched bench-sched-check bench-windows ci
 
 all: build
 
@@ -103,6 +103,21 @@ election:
 			./internal/core ./internal/grm || exit 1; \
 	done
 
+# Availability-window suite under the race detector, swept over the same
+# fixed seeds: the chaos flap primitive and its seeded determinism, the
+# usage-trace window scans, the LUPA forecast accuracy floors, the BSP
+# forced pre-departure checkpoint, the LRM departure drain, the GRM window
+# filter + graceful-departure fast path (and their replication round-trip),
+# and the end-to-end intermittent-fleet drain in core.
+windows:
+	@for seed in $(CHAOS_SEEDS); do \
+		echo "== windows suite, seed $$seed =="; \
+		CHAOS_SEED=$$seed $(GO) test -race -count=1 \
+			-run 'Flap|Window|Depart|Drain|Forecast|RequestCheckpoint' \
+			./internal/chaos ./internal/usage ./internal/lupa ./internal/bsp \
+			./internal/lrm ./internal/grm ./internal/core || exit 1; \
+	done
+
 # ORB hot-path performance: the E12 microbenchmarks with allocation counts,
 # then the machine-readable report checked in as BENCH_orb.json (compare it
 # against the embedded pre_optimization_baseline block).
@@ -124,6 +139,12 @@ bench-orb-check:
 bench-sched:
 	$(GO) run ./cmd/integrade-bench -sched-json BENCH_sched.json
 
+# Availability-window experiment: the E15 aware-vs-blind comparison over
+# intermittent fleets, written as the machine-readable BENCH_windows.json.
+# Fully simulation-driven — the file is byte-stable for a fixed seed.
+bench-windows:
+	$(GO) run ./cmd/integrade-bench -windows-json BENCH_windows.json
+
 # CI smoke variant: the throughput gate (the 10k-offer point must stay
 # within internal/bench/testdata/sched_budget.txt), then a short-scale
 # report to a scratch path.
@@ -132,4 +153,4 @@ bench-sched-check:
 	$(GO) run ./cmd/integrade-bench -sched-json /tmp/BENCH_sched_ci.json -sched-short
 
 # Everything CI runs, in the same order.
-ci: build fmt-check vet lint interproc-lint race chaos failover election bench-orb-check bench-sched-check fuzz-smoke
+ci: build fmt-check vet lint interproc-lint race chaos failover election windows bench-orb-check bench-sched-check fuzz-smoke

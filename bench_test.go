@@ -224,6 +224,24 @@ func BenchmarkExp13Failover(b *testing.B) {
 	})
 }
 
+func BenchmarkExp15Windows(b *testing.B) {
+	runExperiment(b, "E15", func(t bench.Table, b *testing.B) {
+		// Headline: lost work on the office-hours fleet, aware vs. blind.
+		for i, r := range t.Rows {
+			if len(r) > 1 && r[0] == "office-hours" {
+				switch r[1] {
+				case "window-aware":
+					b.ReportMetric(cell(t, i, "lost_GI"), "awareLost_GI")
+					b.ReportMetric(cell(t, i, "makespan_h"), "awareMakespan_h")
+				case "window-blind":
+					b.ReportMetric(cell(t, i, "lost_GI"), "blindLost_GI")
+					b.ReportMetric(cell(t, i, "makespan_h"), "blindMakespan_h")
+				}
+			}
+		}
+	})
+}
+
 func BenchmarkExp10Baselines(b *testing.B) {
 	runExperiment(b, "E10", func(t bench.Table, b *testing.B) {
 		if i := rowByFirst(t, "integrade"); i >= 0 {

@@ -12,7 +12,9 @@
 // measurements and writes the machine-readable report to PATH (the
 // BENCH_orb.json perf trajectory); -orb-short trims the per-point budget
 // for CI smoke runs. -sched-json/-sched-short do the same for the E14
-// scheduling-path measurements (the BENCH_sched.json trajectory).
+// scheduling-path measurements (the BENCH_sched.json trajectory), and
+// -windows-json for the E15 availability-window measurements (fully
+// simulation-driven, so the report is byte-stable for a fixed seed).
 package main
 
 import (
@@ -40,6 +42,7 @@ func run() error {
 		orbShort   = flag.Bool("orb-short", false, "with -orb-json: use the short per-point budget (CI smoke)")
 		schedJSON  = flag.String("sched-json", "", "write the E14 scheduling perf report to this path and exit")
 		schedShort = flag.Bool("sched-short", false, "with -sched-json: use the short offer scales (CI smoke)")
+		winJSON    = flag.String("windows-json", "", "write the E15 availability-window report to this path and exit")
 	)
 	flag.Parse()
 
@@ -48,6 +51,9 @@ func run() error {
 	}
 	if *schedJSON != "" {
 		return writeSchedReport(*schedJSON, *seed, *schedShort)
+	}
+	if *winJSON != "" {
+		return writeWindowsReport(*winJSON, *seed)
 	}
 
 	want := map[string]bool{}
@@ -82,6 +88,29 @@ func writeORBReport(path string, seed int64, short bool) error {
 	report, err := bench.MeasureORBPerf(seed, short)
 	if err != nil {
 		return fmt.Errorf("orb perf measurement: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := report.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "(wrote %s in %v)\n", path, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// writeWindowsReport runs the E15 measurements and writes BENCH_windows.json.
+// Every number is simulation-driven: the file is byte-stable per seed.
+func writeWindowsReport(path string, seed int64) error {
+	start := time.Now()
+	report, err := bench.MeasureWindows(seed)
+	if err != nil {
+		return fmt.Errorf("windows measurement: %w", err)
 	}
 	f, err := os.Create(path)
 	if err != nil {

@@ -69,14 +69,86 @@ func Exp9Recovery(seed int64) Table {
 		runRecoveryCondor(&t, seed, f)
 		runRecoveryBOINC(&t, seed, f)
 	}
+	runRecoveryFlapping(&t, seed)
 
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("%d dedicated %v-MIPS machines, %d tasks of %.0fh each; crashes are silent with a %v reboot outage",
 			e9Nodes, float64(e9MIPS), e9Tasks, e9TaskWork/400.0/3600, e9Outage),
 		"identical seeded crash schedule for every scheduler; loss applies only to InteGrade (baselines have no network model)",
 		fmt.Sprintf("makespan granularity %v; '-' means not all tasks finished within the %v horizon", e9Step, e9Horizon),
+		fmt.Sprintf("flap level: %d machines cycle %v down every %v (chaos ScheduleFlaps), recovery on",
+			e9FlapVictims, e9FlapDown, e9FlapPeriod),
 	)
 	return t
+}
+
+// The intermittent-fleet level: instead of one-shot crashes, a subset of
+// machines flaps on a fixed cycle — repeatedly leaving and rejoining the
+// grid — which exercises the failure detector and checkpoint recovery under
+// churn rather than attrition.
+const (
+	e9FlapVictims = 6
+	e9FlapPeriod  = 2 * time.Hour
+	e9FlapDown    = 30 * time.Minute
+)
+
+// runRecoveryFlapping drives the InteGrade stack (recovery on) over the
+// flapping fleet: each victim's cycle starts at its staggered e9CrashTime,
+// so the outages are spread rather than synchronized.
+func runRecoveryFlapping(t *Table, seed int64) {
+	g := core.NewGrid(core.WithSeed(seed))
+	defer g.Stop()
+	c, err := g.AddCluster("fleet",
+		core.WithSchedulePeriod(2*time.Minute),
+		core.WithUpdatePeriod(5*time.Minute))
+	if err != nil {
+		return
+	}
+	if _, err := c.AddNodes(core.DedicatedNodes(e9Nodes, e9MIPS)); err != nil {
+		return
+	}
+	engine := g.EnableChaos(seed)
+	victims := engine.Nodes()
+	if len(victims) > e9FlapVictims {
+		victims = victims[:e9FlapVictims]
+	}
+	for i, id := range victims {
+		var flaps []chaos.Flap
+		for at := e9CrashTime(i); at <= e9Horizon; at += e9FlapPeriod {
+			flaps = append(flaps, chaos.Flap{Down: at, Up: at + e9FlapDown})
+		}
+		engine.ScheduleFlaps(id, flaps)
+	}
+
+	app := asct.NewApplication("bag").
+		Parametric(e9Tasks, e9TaskWork).
+		Allocate(e9Alloc).
+		Checkpoint(e9CkptWork)
+	h, err := g.SubmitTo("fleet", app)
+	if err != nil {
+		return
+	}
+	makespan := time.Duration(-1)
+	for elapsed := e9Step; elapsed <= e9Horizon; elapsed += e9Step {
+		if err := g.Advance(e9Step); err != nil {
+			break
+		}
+		if st, err := h.Status(); err == nil && st.Done() {
+			makespan = elapsed
+			break
+		}
+	}
+	done := 0
+	if st, err := h.Status(); err == nil {
+		done = appDone(st)
+	}
+	ms := "-"
+	if makespan >= 0 {
+		ms = formatFloat(makespan.Hours())
+	}
+	stats := c.GRM().Stats()
+	t.AddRow("flap", "0%", "integrade", done, formatFloat(100*float64(done)/e9Tasks),
+		ms, stats.TasksEvicted, formatFloat(stats.WorkLostMI/1000))
 }
 
 // scheduleE9Faults programs the chaos engine with the fault level: a global

@@ -1,5 +1,5 @@
 // Package bench implements the experiment suite of DESIGN.md Section 9: one
-// runner per experiment (E1–E14), each regenerating its table. The runners
+// runner per experiment (E1–E15), each regenerating its table. The runners
 // are shared by the repository-root benchmarks (go test -bench) and the
 // integrade-bench CLI.
 //
@@ -110,6 +110,7 @@ func All() []Experiment {
 		{ID: "E12", Title: "ORB fast-path throughput and allocation", Run: Exp12ORBPerf},
 		{ID: "E13", Title: "GRM failover and cluster self-healing", Run: Exp13Failover},
 		{ID: "E14", Title: "Scheduling-path throughput and latency", Run: Exp14SchedPerf},
+		{ID: "E15", Title: "Availability-window scheduling on intermittent fleets", Run: Exp15Windows},
 		{ID: "A1", Title: "Ablation: information-update period", Run: AblationUpdatePeriod},
 		{ID: "A2", Title: "Ablation: negotiation attempt budget", Run: AblationMaxAttempts},
 		{ID: "A3", Title: "Ablation: trader offer TTL", Run: AblationOfferTTL},

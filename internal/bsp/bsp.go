@@ -166,13 +166,32 @@ func (r *Runtime) Abort(cause error) {
 	w.mu.Unlock()
 }
 
+// RequestCheckpoint forces a snapshot at the next superstep barrier,
+// regardless of the periodic cadence. The graceful-drain path uses it when a
+// node predicts an owner arrival: one last checkpoint before the departure
+// bounds the gang's rollback to the current superstep instead of the last
+// periodic boundary. A no-op when no run is active or the runtime has no
+// checkpoint sink.
+func (r *Runtime) RequestCheckpoint() {
+	r.statsMu.Lock()
+	w := r.active
+	r.statsMu.Unlock()
+	if w == nil || r.sink == nil {
+		return
+	}
+	w.mu.Lock()
+	w.forceCkpt = true
+	w.mu.Unlock()
+}
+
 // world is the shared state of one run.
 type world struct {
 	runtime *Runtime
 	procs   []*Proc
 
-	// mu guards arrived, leavers, gen, aborted, abortErr, superstep and
-	// stats; cond (which wraps mu) signals barrier generation changes.
+	// mu guards arrived, leavers, gen, aborted, abortErr, superstep,
+	// forceCkpt and stats; cond (which wraps mu) signals barrier generation
+	// changes.
 	// leave() folds final run stats into the runtime under both locks, so
 	// w.mu nests outside the runtime's statsMu.
 	//lint:lockorder bsp.world.mu<bsp.Runtime.statsMu
@@ -184,6 +203,7 @@ type world struct {
 	aborted   bool
 	abortErr  error
 	superstep int
+	forceCkpt bool
 
 	stats CostStats
 }
@@ -360,7 +380,9 @@ func (w *world) exchangeLocked() error {
 	// parked inside this barrier (sync.Cond.Wait only returns after our
 	// later Broadcast), so nothing else can touch world state meanwhile.
 	r := w.runtime
-	if r.sink != nil && r.checkpointEvery > 0 && w.superstep%r.checkpointEvery == 0 {
+	due := r.checkpointEvery > 0 && w.superstep%r.checkpointEvery == 0
+	if r.sink != nil && (due || w.forceCkpt) {
+		w.forceCkpt = false
 		superstep := w.superstep
 		w.mu.Unlock()
 		states := make([][]byte, len(w.procs))

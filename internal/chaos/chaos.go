@@ -398,6 +398,31 @@ func (e *Engine) ScheduleCrash(nodeID string, at, outage time.Duration) {
 	})
 }
 
+// Flap is one down/up cycle of an intermittent node, relative to the moment
+// the schedule is installed: the node crashes at Down and restarts at Up. An
+// Up at or before Down means the node never comes back from this cycle.
+type Flap struct {
+	Down time.Duration
+	Up   time.Duration
+}
+
+// ScheduleFlaps installs a deterministic up/down schedule for the named
+// node — the first-class primitive behind intermittent-fleet experiments
+// (bench E15) and the flap stress suites. Each cycle fires the node's crash
+// hook at Down and its restart hook at Up; cycles may be derived from a
+// seeded usage trace's busy windows so "owner at the keyboard" equals "node
+// off the grid". The schedule runs relative to the engine clock's current
+// time, so on a sim.VirtualClock the same (seed, schedule) pair reproduces
+// the exact flap sequence every run.
+func (e *Engine) ScheduleFlaps(nodeID string, flaps []Flap) {
+	for _, f := range flaps {
+		e.At(f.Down, func() { e.crash(nodeID) })
+		if f.Up > f.Down {
+			e.At(f.Up, func() { e.restart(nodeID) })
+		}
+	}
+}
+
 func (e *Engine) crash(nodeID string) {
 	e.mu.Lock()
 	hooks, ok := e.nodes[nodeID]

@@ -299,6 +299,7 @@ type Cluster struct {
 
 	updatePeriod time.Duration
 	grmOpts      []grm.Option // retained for standby / cold-rebuild incarnations
+	lrmOpts      []lrm.Option // applied to every LRM the cluster builds
 
 	// mgmtMu guards the swappable manager identity: the active manager
 	// incarnation, the warm standby (nil when none), the consensus replica
@@ -327,6 +328,7 @@ type ClusterOption func(*clusterConfig)
 
 type clusterConfig struct {
 	grmOpts      []grm.Option
+	lrmOpts      []lrm.Option
 	updatePeriod time.Duration
 }
 
@@ -334,6 +336,13 @@ type clusterConfig struct {
 // options do not cover).
 func WithGRMOptions(opts ...grm.Option) ClusterOption {
 	return func(c *clusterConfig) { c.grmOpts = append(c.grmOpts, opts...) }
+}
+
+// WithLRMOptions forwards raw LRM options to every node the cluster adds —
+// e.g. lrm.WithDepartureDrain to enable graceful-departure drains on an
+// intermittent fleet.
+func WithLRMOptions(opts ...lrm.Option) ClusterOption {
+	return func(c *clusterConfig) { c.lrmOpts = append(c.lrmOpts, opts...) }
 }
 
 // WithPolicy sets the cluster scheduling policy (default usage-aware).
@@ -369,7 +378,7 @@ func (g *Grid) AddCluster(id string, opts ...ClusterOption) (*Cluster, error) {
 		return nil, fmt.Errorf("core: cluster %q already exists", id)
 	}
 
-	c := &Cluster{id: id, grid: g, updatePeriod: cfg.updatePeriod, grmOpts: cfg.grmOpts}
+	c := &Cluster{id: id, grid: g, updatePeriod: cfg.updatePeriod, grmOpts: cfg.grmOpts, lrmOpts: cfg.lrmOpts}
 	m, err := c.buildManager(0)
 	if err != nil {
 		return nil, err
@@ -565,7 +574,7 @@ func (c *Cluster) AddNodes(cfg NodeConfig) ([]string, error) {
 		mgr := c.manager()
 		var resolveMu sync.Mutex
 		attempt := 0
-		l := lrm.New(n, g.clock, g.orb, selfRef, mgr.grmRef,
+		lrmOpts := []lrm.Option{
 			lrm.WithUpdatePeriod(c.updatePeriod),
 			lrm.WithGUPA(gupa.NewClient(g.orb, mgr.gupaRef)),
 			lrm.WithLogger(g.log),
@@ -585,7 +594,9 @@ func (c *Cluster) AddNodes(cfg NodeConfig) ([]string, error) {
 				resolveMu.Unlock()
 				return cands[k], nil
 			}),
-		)
+		}
+		lrmOpts = append(lrmOpts, c.lrmOpts...)
+		l := lrm.New(n, g.clock, g.orb, selfRef, mgr.grmRef, lrmOpts...)
 		if err := adapter.Register(protocol.LRMKey, l.Servant()); err != nil {
 			return nil, err
 		}

@@ -7,6 +7,7 @@ import (
 
 	"integrade/internal/asct"
 	"integrade/internal/grm"
+	"integrade/internal/lrm"
 	"integrade/internal/protocol"
 	"integrade/internal/resource"
 	"integrade/internal/sim"
@@ -304,5 +305,77 @@ func TestStopConcurrentWithAccessors(t *testing.T) {
 	wg.Wait()
 	if got := g.Clusters(); len(got) != 2 {
 		t.Fatalf("Clusters after Stop = %v", got)
+	}
+}
+
+func TestGracefulDepartureDrainsBeforeOwnerReturns(t *testing.T) {
+	// The intermittent-fleet path end to end: office-worker desktops train
+	// their LUPA for a week, the cluster runs window-aware with the
+	// pre-departure drain armed, and overnight grid work is checkpointed and
+	// handed back BEFORE the 09:00 owner arrivals instead of being evicted.
+	g := NewGrid(WithSeed(11))
+	defer g.Stop()
+	c, err := g.AddCluster("lab",
+		WithPolicy(grm.UsageAware{}),
+		WithSchedulePeriod(time.Minute),
+		WithGRMOptions(grm.WithWindowAware()),
+		WithLRMOptions(lrm.WithDepartureDrain(15*time.Minute)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddNodes(DesktopNodes(4, usage.OfficeWorker)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddNodes(DedicatedNodes(1, 500)); err != nil {
+		t.Fatal(err)
+	}
+	// Train the analyzers across 9 simulated days, then land at 03:00.
+	if err := g.Advance(9*24*time.Hour + 3*time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	// A batch that cannot finish before the offices reopen.
+	h, err := g.Submit(asct.NewApplication("overnight").
+		Parametric(3, 10*3600*450). // ~10h at 450 MIPS
+		Allocate(resource.Vector{MIPS: 450, RAMMB: 64}).
+		Checkpoint(3600 * 450). // hourly checkpoints
+		RestartEvicted())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run through the 09:00 owner arrivals.
+	if err := g.Advance(9 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	grmStats := c.GRM().Stats()
+	if grmStats.TasksDrained == 0 {
+		t.Fatalf("no proactive drains before owner returns; stats=%+v", grmStats)
+	}
+	if grmStats.GracefulDepartures == 0 {
+		t.Fatalf("no departure notices reached the GRM; stats=%+v", grmStats)
+	}
+	// The drains carried exact progress: work past the last checkpoint
+	// boundary was preserved, not lost.
+	if grmStats.DrainWorkSavedMI < 0 {
+		t.Fatalf("DrainWorkSavedMI = %v", grmStats.DrainWorkSavedMI)
+	}
+	drained := 0
+	for _, l := range c.LRMs() {
+		st := l.Stats()
+		drained += st.TasksDrained
+	}
+	if drained == 0 {
+		t.Fatal("no LRM recorded a drained task")
+	}
+	// The batch still completes: drained tasks migrate and finish elsewhere
+	// (or back on the desktops once their owners leave).
+	if err := g.Advance(30 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	st, err := h.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Done() {
+		t.Fatalf("overnight batch incomplete after migration: %+v", st.Tasks)
 	}
 }

@@ -63,6 +63,11 @@ type Stats struct {
 	MaxBatchSize        int // largest batch drained so far
 	SnapshotHits        int // candidate queries served from a batch snapshot
 	SnapshotMisses      int // candidate queries that hit the trader
+	// Availability-window / graceful-departure counters.
+	GracefulDepartures int     // departure notices processed (fast-path withdrawals)
+	TasksDrained       int     // tasks handed back by a draining node before it left
+	DrainWorkSavedMI   float64 // progress past the last checkpoint preserved by drains
+	WindowRejected     int     // candidate offers skipped: window too short for the task
 }
 
 // nodeLiveness is the failure detector's record of one node's heartbeats.
@@ -74,6 +79,11 @@ type nodeLiveness struct {
 	// status is the node's latest full NodeStatus, kept so a standby
 	// attached later can be primed with a complete snapshot.
 	status protocol.NodeStatus
+	// departing marks a node that announced a graceful departure: its trader
+	// offer is withdrawn, exports are suppressed, and the failure detector
+	// leaves it alone until departUntil passes (Departing is not Suspect).
+	departing   bool
+	departUntil time.Time
 }
 
 // taskInfo is the GRM-side record of one task.
@@ -123,6 +133,7 @@ type GRM struct {
 	maxAttempts  int
 	backboneMbps float64
 	suspectAfter time.Duration // fixed detector threshold; 0 = adaptive
+	windowAware  bool          // filter candidates by availability windows
 	onEviction   func(appID string)
 	replEvery    time.Duration // standby replication flush cadence
 
@@ -222,6 +233,17 @@ func WithLogger(log *slog.Logger) Option {
 // the offer TTL — which tolerates slow update cadences without tuning.
 func WithSuspectAfter(d time.Duration) Option {
 	return func(g *GRM) { g.suspectAfter = d }
+}
+
+// WithWindowAware makes placement honour the availability windows LRMs
+// forecast: an offer whose current window ends before a task's estimated
+// runtime would complete (at confidence of at least
+// DefaultMinWindowConfidence) is skipped, so work lands on nodes predicted
+// to stay idle long enough to finish it. Dedicated nodes and nodes without
+// a forecast always pass. Off by default: a window-blind GRM behaves
+// exactly as before.
+func WithWindowAware() Option {
+	return func(g *GRM) { g.windowAware = true }
 }
 
 // WithReplicationInterval sets the standby replication flush cadence
@@ -346,6 +368,19 @@ func (g *GRM) HandleUpdate(s protocol.NodeStatus) (int, error) {
 	if refuse || degraded {
 		g.stats.UpdatesRefused++
 	}
+	// A node inside an announced departure keeps heartbeating until the
+	// owner actually returns, but its offer stays withdrawn and the standby
+	// keeps it gone: re-exporting would hand it fresh work right before the
+	// predicted owner arrival. Past the deadline the flag clears and the
+	// update re-registers the node normally.
+	departing := false
+	if lv := g.nodes[s.NodeID]; lv != nil && lv.departing {
+		if now.Before(lv.departUntil) {
+			departing = true
+		} else {
+			lv.departing = false
+		}
+	}
 	elect := g.elect
 	epoch := g.epoch
 	g.mu.Unlock()
@@ -356,7 +391,7 @@ func (g *GRM) HandleUpdate(s protocol.NodeStatus) (int, error) {
 	if degraded {
 		return 0, fmt.Errorf("grm: leader of epoch %d lost its replication quorum", epoch)
 	}
-	if !g.exportStatusOffer(s, now) {
+	if !departing && !g.exportStatusOffer(s, now) {
 		return epoch, nil
 	}
 	g.mu.Lock()
@@ -365,7 +400,7 @@ func (g *GRM) HandleUpdate(s protocol.NodeStatus) (int, error) {
 		g.stats.StalenessSum += age
 	}
 	g.touchLivenessLocked(s, now)
-	if g.repl != nil {
+	if g.repl != nil && !departing {
 		g.repl.enqueueNode(s)
 	}
 	epoch = g.epoch
@@ -384,6 +419,17 @@ func (g *GRM) Epoch() int {
 // exportStatusOffer upserts the node's trader offer from its status,
 // reporting whether the upsert succeeded.
 func (g *GRM) exportStatusOffer(s protocol.NodeStatus, now time.Time) bool {
+	// Current availability window, if the node forecast one covering now.
+	// Zero means "no forecast" — the window filter lets those offers pass
+	// rather than starving a fleet that never trained an analyzer.
+	var winEnd, winConf float64
+	for _, w := range s.Windows {
+		if !now.Before(w.Start) && now.Before(w.End) {
+			winEnd = float64(w.End.Unix())
+			winConf = w.Confidence
+			break
+		}
+	}
 	props := constraint.Properties{
 		PropNode:          constraint.String(s.NodeID),
 		PropMIPSTotal:     constraint.Number(s.Capacity.MIPS),
@@ -400,6 +446,8 @@ func (g *GRM) exportStatusOffer(s protocol.NodeStatus, now time.Time) bool {
 		PropDedicated:     constraint.Bool(s.Dedicated),
 		PropOwnerBusy:     constraint.Bool(s.OwnerBusy),
 		PropPredictedIdle: constraint.Number(s.PredictedIdle.Seconds()),
+		PropWindowEnd:     constraint.Number(winEnd),
+		PropWindowConf:    constraint.Number(winConf),
 		PropUpdatedUnix:   constraint.Number(float64(s.Timestamp.Unix())),
 		// The exporting manager's fencing epoch: consumers comparing offers
 		// across a failover can spot exports from a deposed primary.
@@ -570,6 +618,7 @@ func (g *GRM) placeTask(app *appInfo, t *taskInfo, exclude map[string]bool, mc *
 	if err != nil {
 		return err
 	}
+	ordered = g.windowFilter(ordered, app.spec)
 	alloc := app.spec.EffectiveAlloc()
 	attempts := 0
 	for _, offer := range ordered {
@@ -634,6 +683,11 @@ func (g *GRM) scheduleGang(app *appInfo, pending []*taskInfo, mc *matchCtx) {
 		g.log.Warn("candidate query failed", "app", app.id, "err", err)
 		return
 	}
+	// The gang overlap rule: every member needs a window covering the same
+	// execution interval [now, now+runtime], so one filter pass with the
+	// shared deadline removes exactly the nodes whose windows do not overlap
+	// the gang's run.
+	ordered = g.windowFilter(ordered, app.spec)
 	g.reserveAndExecuteGang(app, pending, ordered)
 }
 
@@ -749,6 +803,12 @@ func (g *GRM) detectFailures() {
 	for _, id := range ids {
 		lv := g.nodes[id]
 		if lv.updates < 2 {
+			continue
+		}
+		if lv.departing && now.Before(lv.departUntil) {
+			// Departing is not Suspect: the node said goodbye, its offer is
+			// withdrawn and its tasks drained, so silence until the announced
+			// deadline is expected, not a failure.
 			continue
 		}
 		threshold := g.suspectAfter
@@ -894,6 +954,7 @@ func (g *GRM) HandleNotify(ev protocol.TaskEvent) {
 		return
 	}
 	var requeue bool
+	var abortApp string
 	switch ev.Kind {
 	case protocol.TaskEventDone:
 		task.state = protocol.TaskDone
@@ -923,12 +984,58 @@ func (g *GRM) HandleNotify(ev protocol.TaskEvent) {
 			g.stats.WorkLostMI += ev.Progress
 			task.state = protocol.TaskEvicted
 		}
+	case protocol.TaskEventDrained:
+		// A graceful drain: the node checkpointed and handed the task back
+		// before a predicted owner arrival. Unlike an eviction the progress
+		// report is exact, so a migratable task resumes from it instead of
+		// rolling back to a checkpoint boundary.
+		g.stats.TasksDrained++
+		task.progress = ev.Progress
+		switch {
+		case !app.spec.RestartEvicted:
+			g.stats.WorkLostMI += ev.Progress
+			task.state = protocol.TaskEvicted
+		case app.spec.Kind == protocol.AppBSP:
+			// BSP processes resume only from superstep checkpoint
+			// boundaries; a drain is still a rollback for them. The
+			// eviction observer fires so an attached runtime unwinds at
+			// its next barrier and restarts from the checkpoint.
+			ckpt := 0.0
+			if app.spec.CheckpointEveryWork > 0 {
+				intervals := int(ev.Progress / app.spec.CheckpointEveryWork)
+				ckpt = float64(intervals) * app.spec.CheckpointEveryWork
+			}
+			g.stats.WorkLostMI += ev.Progress - ckpt
+			task.initialProgress = ckpt
+			task.state = protocol.TaskPending
+			task.restarts++
+			g.stats.Restarts++
+			requeue = true
+			abortApp = app.id
+		default:
+			// Exact-progress migration: everything past the last checkpoint
+			// boundary that an eviction would have lost is preserved.
+			ckpt := 0.0
+			if app.spec.CheckpointEveryWork > 0 {
+				intervals := int(ev.Progress / app.spec.CheckpointEveryWork)
+				ckpt = float64(intervals) * app.spec.CheckpointEveryWork
+			}
+			g.stats.DrainWorkSavedMI += ev.Progress - ckpt
+			task.initialProgress = ev.Progress
+			task.state = protocol.TaskPending
+			task.restarts++
+			requeue = true
+		}
 	case protocol.TaskEventProgress:
 		task.progress = ev.Progress
 	}
+	observer := g.onEviction
 	g.replicateAppLocked(app)
 	g.mu.Unlock()
 
+	if abortApp != "" && observer != nil {
+		observer(abortApp)
+	}
 	if requeue {
 		// Try immediate re-placement, avoiding the node that evicted us.
 		_ = g.placeTask(app, task, map[string]bool{ev.NodeID: true}, nil)

@@ -39,6 +39,8 @@ const (
 	PropPredictedIdle = "predicted_idle_s"
 	PropUpdatedUnix   = "updated_unix"
 	PropMgrEpoch      = "mgr_epoch"
+	PropWindowEnd     = "window_end_unix"
+	PropWindowConf    = "window_conf"
 )
 
 func numProp(o trading.Offer, key string) float64 {

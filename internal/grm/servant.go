@@ -44,6 +44,14 @@ func (g *GRM) Servant() orb.Servant {
 			g.HandleNotify(ev)
 			return &orb.Encoder{}, nil
 		}).
+		Handle(protocol.OpDeparting, func(_ string, req *orb.Decoder) (*orb.Encoder, error) {
+			n, err := protocol.DecodeDepartureNotice(req)
+			if err != nil {
+				return nil, orb.Errorf(orb.CodeMarshal, "departing: %v", err)
+			}
+			g.HandleDeparting(n)
+			return &orb.Encoder{}, nil
+		}).
 		Handle(protocol.OpAppStatus, func(_ string, req *orb.Decoder) (*orb.Encoder, error) {
 			appID := req.String()
 			if err := req.Err(); err != nil {

@@ -23,6 +23,7 @@ func (g *GRM) scheduleTopology(app *appInfo, pending []*taskInfo, mc *matchCtx) 
 		g.log.Warn("topology candidate query failed", "app", app.id, "err", err)
 		return
 	}
+	ordered = g.windowFilter(ordered, app.spec)
 
 	// Group candidates by LAN, preserving policy order within each.
 	byLAN := make(map[string][]trading.Offer)

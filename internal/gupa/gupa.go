@@ -94,6 +94,18 @@ func (s *Service) PredictIdle(nodeID string, t time.Time) (time.Duration, bool) 
 	return span, true
 }
 
+// Forecast converts a node's uploaded pattern into availability windows
+// covering [from, from+horizon) — the cluster-side view of the same forecast
+// the node's LRM computes locally, minus the intra-day live match (the GUPA
+// only holds the trained pattern). Nil when the node has no trained pattern.
+func (s *Service) Forecast(nodeID string, from time.Time, horizon time.Duration) []lupa.Window {
+	p, found := s.Pattern(nodeID)
+	if !found {
+		return nil
+	}
+	return p.Forecast(from, horizon)
+}
+
 // Wire operation names.
 const (
 	opUpload  = "upload"

@@ -77,7 +77,10 @@ func TestProtocolContractsHold(t *testing.T) {
 		t.Fatalf("loading module: %v", err)
 	}
 	// The declared lock hierarchy lives in these packages; if any drops out
-	// of the analyzed set the sweep would pass vacuously.
+	// of the analyzed set the sweep would pass vacuously. lrm, lupa, usage
+	// and chaos carry the availability-window machinery (forecast windows on
+	// the NodeStatus wire, departure notices, flap schedules), so the
+	// wiredrift sweep must keep seeing them too.
 	for _, want := range []string{
 		"integrade/internal/grm",
 		"integrade/internal/bsp",
@@ -85,6 +88,10 @@ func TestProtocolContractsHold(t *testing.T) {
 		"integrade/internal/election",
 		"integrade/internal/orb",
 		"integrade/internal/protocol",
+		"integrade/internal/lrm",
+		"integrade/internal/lupa",
+		"integrade/internal/usage",
+		"integrade/internal/chaos",
 	} {
 		found := false
 		for _, p := range pkgs {

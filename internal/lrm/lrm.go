@@ -48,6 +48,12 @@ type Stats struct {
 	TasksStarted     int
 	TasksCompleted   int
 	TasksEvicted     int
+	// TasksDrained counts grid tasks cancelled at exact progress by the
+	// proactive pre-departure drain (WithDepartureDrain).
+	TasksDrained int
+	// DepartureNotices counts graceful-departure announcements sent to the
+	// GRM ahead of a predicted owner return.
+	DepartureNotices int
 	// StaleEpochRejections counts writes refused because they carried a
 	// fencing epoch older than the newest this LRM has seen — the deposed
 	// primary being fenced out.
@@ -68,6 +74,7 @@ type LRM struct {
 	reserveTTL   time.Duration
 	resolver     func() (orb.ObjectRef, error) // re-resolves the GRM ref; may be nil
 	reregBackoff orb.BackoffPolicy
+	drainLead    time.Duration // 0 = proactive pre-departure drain disabled
 
 	// mu guards grm, taskApp, stats, stopped, timers, started, fence,
 	// consecFails, rereg and reregAttempt. It must be released before GRM
@@ -91,6 +98,10 @@ type LRM struct {
 	consecFails  int
 	rereg        bool
 	reregAttempt int
+	// drainCoolUntil suppresses repeated drain firings for one predicted
+	// departure: after a drain, the watch stays quiet until the predicted
+	// owner-return deadline (plus the lead) has passed.
+	drainCoolUntil time.Time
 }
 
 // Option configures an LRM.
@@ -126,6 +137,27 @@ func WithGRMResolver(fn func() (orb.ObjectRef, error)) Option {
 // WithReregisterBackoff overrides the re-registration pacing policy.
 func WithReregisterBackoff(p orb.BackoffPolicy) Option {
 	return func(l *LRM) { l.reregBackoff = p }
+}
+
+// DefaultDrainLead is the pre-departure lead time used when
+// WithDepartureDrain is given a non-positive lead.
+const DefaultDrainLead = 10 * time.Minute
+
+// WithDepartureDrain enables the proactive pre-departure drain: when the
+// node's LUPA predicts the owner returns within lead, the LRM cancels its
+// grid tasks at their exact progress (reporting each as TaskEventDrained —
+// the proactive checkpoint), announces the departure to the GRM, and lets
+// the scheduler re-place the work elsewhere before the owner arrives. The
+// failure detector and checkpoint rollback remain the fallback for
+// unpredicted departures. Disabled by default so window-blind deployments
+// keep the seed semantics.
+func WithDepartureDrain(lead time.Duration) Option {
+	return func(l *LRM) {
+		if lead <= 0 {
+			lead = DefaultDrainLead
+		}
+		l.drainLead = lead
+	}
 }
 
 // New returns an LRM managing n, reporting to the GRM at grmRef, reachable
@@ -403,18 +435,38 @@ func (l *LRM) reconcile(client *protocol.GRMClient) {
 	}
 }
 
+// ForecastHorizon is how far ahead the LRM publishes availability windows
+// in its status updates.
+const ForecastHorizon = 24 * time.Hour
+
+// maxStatusWindows caps the windows per update so a fragmented forecast
+// cannot bloat the Information Update Protocol message.
+const maxStatusWindows = 8
+
 // Status builds the node's current NodeStatus.
 func (l *LRM) Status() protocol.NodeStatus {
 	now := l.clock.Now()
 	spec := l.node.Spec()
 	free := l.gridFree(now)
 	var predicted time.Duration
+	var windows []protocol.AvailWindow
 	if l.analyzer != nil {
 		if span, ok := l.analyzer.PredictIdle(now); ok {
 			predicted = span
 		}
+		for _, w := range l.analyzer.Forecast(now, ForecastHorizon) {
+			if len(windows) == maxStatusWindows {
+				break
+			}
+			windows = append(windows, protocol.AvailWindow{
+				Start: w.Start, End: w.End, Confidence: w.Confidence,
+			})
+		}
 	} else if l.node.Dedicated() && !l.node.IsDown(now) {
 		predicted = 24 * time.Hour
+		windows = []protocol.AvailWindow{
+			{Start: now, End: now.Add(ForecastHorizon), Confidence: 1},
+		}
 	}
 	return protocol.NodeStatus{
 		NodeID:        l.node.ID(),
@@ -427,6 +479,7 @@ func (l *LRM) Status() protocol.NodeStatus {
 		OwnerBusy:     l.node.OwnerActivity(now).Busy(),
 		PredictedIdle: predicted,
 		Timestamp:     now,
+		Windows:       windows,
 	}
 }
 
@@ -444,13 +497,75 @@ func (l *LRM) gridFree(now time.Time) resource.Vector {
 	return capNow.Sub(used).Clamp().Min(ledgerFree)
 }
 
-// sampleTick feeds the LUPA and advances task execution.
+// sampleTick feeds the LUPA, advances task execution, and runs the
+// pre-departure watch (SyncTasks first, so drained tasks report progress
+// advanced to now).
 func (l *LRM) sampleTick() {
 	now := l.clock.Now()
 	if l.analyzer != nil {
 		l.analyzer.Record(now, l.node.OwnerActivity(now))
 	}
 	l.SyncTasks()
+	l.departureWatch(now)
+}
+
+// departureWatch fires the graceful-departure drain when the LUPA predicts
+// the owner returns within the configured lead: every running grid task is
+// cancelled at its exact progress and reported as Drained (zero lost work —
+// the proactive checkpoint), then a DepartureNotice tells the GRM to
+// withdraw the node's offers and mark it Departing instead of waiting for
+// the heartbeat-miss Suspect threshold.
+func (l *LRM) departureWatch(now time.Time) {
+	l.mu.Lock()
+	lead := l.drainLead
+	cool := l.drainCoolUntil
+	stopped := l.stopped
+	l.mu.Unlock()
+	if lead <= 0 || l.analyzer == nil || stopped || now.Before(cool) {
+		return
+	}
+	if l.node.IsDown(now) || l.node.OwnerActivity(now).Busy() {
+		return
+	}
+	span, ok := l.analyzer.PredictIdle(now)
+	if !ok || span <= 0 || span > lead {
+		return
+	}
+	deadline := now.Add(span)
+	drained := 0
+	for _, snap := range l.node.RunningSnapshots() {
+		task := l.node.CancelTask(now, snap.ID)
+		if task == nil {
+			continue
+		}
+		l.mu.Lock()
+		appID := l.taskApp[snap.ID]
+		delete(l.taskApp, snap.ID)
+		l.mu.Unlock()
+		ev := protocol.TaskEvent{
+			Kind:     protocol.TaskEventDrained,
+			AppID:    appID,
+			TaskID:   snap.ID,
+			NodeID:   l.node.ID(),
+			Progress: task.Progress(),
+			At:       now,
+		}
+		if err := l.grmClient().Notify(ev); err != nil {
+			l.log.Debug("drain notification failed", "task", snap.ID, "err", err)
+		}
+		drained++
+	}
+	notice := protocol.DepartureNotice{NodeID: l.node.ID(), Deadline: deadline, At: now}
+	if err := l.grmClient().Departing(notice); err != nil {
+		l.log.Debug("departure notice failed", "node", l.node.ID(), "err", err)
+	}
+	l.mu.Lock()
+	l.stats.TasksDrained += drained
+	l.stats.DepartureNotices++
+	l.drainCoolUntil = deadline.Add(lead)
+	l.mu.Unlock()
+	l.log.Debug("announced graceful departure",
+		"node", l.node.ID(), "deadline", deadline, "drained", drained)
 }
 
 // SyncTasks advances the node's task execution to now and notifies the GRM

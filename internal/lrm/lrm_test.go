@@ -18,11 +18,12 @@ var linux = resource.Platform{Arch: "amd64", OS: "linux"}
 
 // fakeGRM records updates and notifications sent by the LRM.
 type fakeGRM struct {
-	mu       sync.Mutex
-	updates  []protocol.NodeStatus
-	events   []protocol.TaskEvent
-	failNext bool
-	epoch    int // fencing epoch returned in update replies
+	mu         sync.Mutex
+	updates    []protocol.NodeStatus
+	events     []protocol.TaskEvent
+	departures []protocol.DepartureNotice
+	failNext   bool
+	epoch      int // fencing epoch returned in update replies
 }
 
 func (f *fakeGRM) servant() orb.Servant {
@@ -52,6 +53,16 @@ func (f *fakeGRM) servant() orb.Servant {
 			f.events = append(f.events, ev)
 			f.mu.Unlock()
 			return &orb.Encoder{}, nil
+		}).
+		Handle(protocol.OpDeparting, func(_ string, req *orb.Decoder) (*orb.Encoder, error) {
+			n, err := protocol.DecodeDepartureNotice(req)
+			if err != nil {
+				return nil, err
+			}
+			f.mu.Lock()
+			f.departures = append(f.departures, n)
+			f.mu.Unlock()
+			return &orb.Encoder{}, nil
 		})
 }
 
@@ -71,6 +82,12 @@ func (f *fakeGRM) eventList() []protocol.TaskEvent {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return append([]protocol.TaskEvent(nil), f.events...)
+}
+
+func (f *fakeGRM) departureList() []protocol.DepartureNotice {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]protocol.DepartureNotice(nil), f.departures...)
 }
 
 type fixture struct {
@@ -514,5 +531,136 @@ func TestGridFreeTracksShare(t *testing.T) {
 	}
 	if !s.OwnerBusy {
 		t.Fatal("OwnerBusy = false for AlwaysBusy trace")
+	}
+}
+
+func TestStatusPublishesForecastWindows(t *testing.T) {
+	spec := resource.MachineSpec{
+		Platform: linux,
+		Capacity: resource.Vector{MIPS: 1000, RAMMB: 1024, DiskMB: 100, NetMbps: 10},
+		LANID:    "lan0",
+	}
+	tr := usage.NewTrace(usage.OfficeWorker, 7)
+	f := newFixture(t, spec, tr, ncc.Default(), WithUpdatePeriod(time.Hour))
+	f.lrm.Start()
+	// Before training: no forecast, no windows.
+	if got := f.lrm.Status().Windows; len(got) != 0 {
+		t.Fatalf("untrained Windows = %v, want none", got)
+	}
+	// Train for 9 days, then probe at 04:00 (owner asleep).
+	f.clock.Advance(9*24*time.Hour + 4*time.Hour)
+	s := f.lrm.Status()
+	if len(s.Windows) == 0 {
+		t.Fatal("trained idle node published no availability windows")
+	}
+	if len(s.Windows) > 8 {
+		t.Fatalf("Windows = %d entries, want <= 8 (status size cap)", len(s.Windows))
+	}
+	for i, w := range s.Windows {
+		if !w.Start.Before(w.End) {
+			t.Fatalf("window %d empty: %+v", i, w)
+		}
+		if w.Confidence <= 0 || w.Confidence > 1 {
+			t.Fatalf("window %d confidence = %v", i, w.Confidence)
+		}
+	}
+}
+
+func TestStatusDedicatedNodeAdvertisesOpenWindow(t *testing.T) {
+	f := newFixture(t, dedicatedSpec(1000), nil, ncc.Generous())
+	s := f.lrm.Status()
+	if len(s.Windows) != 1 {
+		t.Fatalf("dedicated Windows = %v, want exactly one synthetic window", s.Windows)
+	}
+	w := s.Windows[0]
+	if w.Confidence != 1 {
+		t.Fatalf("dedicated window confidence = %v, want 1", w.Confidence)
+	}
+	if w.End.Sub(w.Start) < ForecastHorizon {
+		t.Fatalf("dedicated window span = %v, want >= %v", w.End.Sub(w.Start), ForecastHorizon)
+	}
+}
+
+func TestDepartureDrainCheckpointsBeforeOwnerReturns(t *testing.T) {
+	// A trained office-worker node running grid work overnight: as the LUPA
+	// forecast sees the 09:00 owner arrival coming inside the drain lead, the
+	// LRM must cancel the task at its exact progress, report it Drained (not
+	// Evicted) and announce the departure to the GRM.
+	spec := resource.MachineSpec{
+		Platform: linux,
+		Capacity: resource.Vector{MIPS: 1000, RAMMB: 1024, DiskMB: 100, NetMbps: 10},
+		LANID:    "lan0",
+	}
+	tr := usage.NewTrace(usage.OfficeWorker, 7)
+	pol := ncc.Policy{Mode: ncc.ModeIdleOnly, CPUFraction: 1, RAMFraction: 0.9, IdleAfter: 5 * time.Minute}
+	f := newFixture(t, spec, tr, pol,
+		WithUpdatePeriod(time.Minute), WithDepartureDrain(10*time.Minute))
+	f.lrm.Start()
+	// Train across 9 days, then land at 04:00 on day 10.
+	f.clock.Advance(9*24*time.Hour + 4*time.Hour)
+
+	alloc := resource.Vector{MIPS: 500, RAMMB: 64}
+	reply, err := f.lrmC.Reserve(protocol.ReserveRequest{Holder: "a", Amount: alloc, TTL: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reply.Granted {
+		t.Skipf("node busy at 04:00 (burst): %s", reply.Reason)
+	}
+	if err := f.lrmC.Execute(protocol.ExecuteRequest{
+		ReservationID: reply.ReservationID,
+		TaskID:        "t", AppID: "a", Work: 1e12, Alloc: alloc,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Run towards the 09:00 owner arrival.
+	f.clock.Advance(5 * time.Hour)
+	var drained, evicted bool
+	for _, ev := range f.grm.eventList() {
+		switch {
+		case ev.Kind == protocol.TaskEventDrained && ev.TaskID == "t":
+			drained = true
+			if ev.Progress <= 0 {
+				t.Fatal("drained with zero progress")
+			}
+		case ev.Kind == protocol.TaskEventEvicted && ev.TaskID == "t":
+			evicted = true
+		}
+	}
+	if !drained {
+		t.Fatal("no drain notification before the predicted owner return")
+	}
+	if evicted {
+		t.Fatal("task evicted despite the proactive drain")
+	}
+	deps := f.grm.departureList()
+	if len(deps) == 0 {
+		t.Fatal("no departure notice sent")
+	}
+	first := deps[0]
+	if first.NodeID != "n0" {
+		t.Fatalf("departure NodeID = %q", first.NodeID)
+	}
+	if !first.At.Before(first.Deadline) {
+		t.Fatalf("departure deadline %v not after announcement %v", first.Deadline, first.At)
+	}
+	// The drain fired inside the lead: deadline at most 10 min past At.
+	if first.Deadline.Sub(first.At) > 10*time.Minute {
+		t.Fatalf("departure lead = %v, want <= 10m", first.Deadline.Sub(first.At))
+	}
+	stats := f.lrm.Stats()
+	if stats.TasksDrained != 1 {
+		t.Fatalf("TasksDrained = %d, want 1", stats.TasksDrained)
+	}
+	if stats.DepartureNotices < 1 {
+		t.Fatalf("DepartureNotices = %d, want >= 1", stats.DepartureNotices)
+	}
+	if stats.TasksEvicted != 0 {
+		t.Fatalf("TasksEvicted = %d, want 0 (drain pre-empted the eviction)", stats.TasksEvicted)
+	}
+	// The node is actually empty before the owner sits down.
+	if got := len(f.node.RunningTasks()); got != 0 {
+		t.Fatalf("node still runs %d tasks after drain", got)
 	}
 }

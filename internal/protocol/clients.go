@@ -62,6 +62,17 @@ func (c *GRMClient) Notify(ev TaskEvent) error {
 	return err
 }
 
+// Departing announces a predicted owner-driven departure: the GRM withdraws
+// the node's trader offers and marks it Departing (distinct from Suspect)
+// so the failure detector does not burn its heartbeat-miss threshold on a
+// node that politely said goodbye.
+func (c *GRMClient) Departing(n DepartureNotice) error {
+	var e orb.Encoder
+	n.Encode(&e)
+	_, err := c.inv.Invoke(c.ref, OpDeparting, e.Bytes())
+	return err
+}
+
 // CancelApp aborts an application: running tasks are cancelled on their
 // nodes, pending tasks are dropped.
 func (c *GRMClient) CancelApp(appID string) error {

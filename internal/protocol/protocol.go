@@ -35,6 +35,7 @@ const (
 	OpPeerInfo  = "peerInfo"  // hierarchy: cluster summary exchange
 	OpReplicate = "replicate" // primary GRM streams state to its standby
 	OpReconcile = "reconcile" // LRM syncs its running tasks after re-registering
+	OpDeparting = "departing" // LRM announces a predicted owner-driven departure
 
 	// LRM operations.
 	OpReserve   = "reserve"
@@ -65,6 +66,18 @@ type NodeStatus struct {
 	PredictedIdle time.Duration
 	// Timestamp is the LRM-side send time, used for staleness accounting.
 	Timestamp time.Time
+	// Windows is the node-local LUPA availability forecast: intervals the
+	// owner is predicted to leave the machine idle, with a confidence score
+	// in [0,1]. Empty when the analyzer is untrained. Window-aware GRM
+	// placement fits task runtimes inside them.
+	Windows []AvailWindow
+}
+
+// AvailWindow is the wire form of one forecast availability window.
+type AvailWindow struct {
+	Start      time.Time
+	End        time.Time
+	Confidence float64
 }
 
 // Encode writes the status.
@@ -80,6 +93,12 @@ func (s NodeStatus) Encode(e *orb.Encoder) {
 	e.PutBool(s.OwnerBusy)
 	e.PutDuration(s.PredictedIdle)
 	e.PutTime(s.Timestamp)
+	e.PutU32(uint32(len(s.Windows)))
+	for _, w := range s.Windows {
+		e.PutTime(w.Start)
+		e.PutTime(w.End)
+		e.PutF64(w.Confidence)
+	}
 }
 
 // DecodeNodeStatus reads a NodeStatus.
@@ -97,6 +116,20 @@ func DecodeNodeStatus(d *orb.Decoder) (NodeStatus, error) {
 	s.OwnerBusy = d.Bool()
 	s.PredictedIdle = d.Duration()
 	s.Timestamp = d.Time()
+	n := d.U32()
+	if err := d.Err(); err != nil {
+		return NodeStatus{}, err
+	}
+	if n > orb.MaxSliceLen {
+		return NodeStatus{}, fmt.Errorf("protocol: node status with %d windows", n)
+	}
+	for i := uint32(0); i < n; i++ {
+		s.Windows = append(s.Windows, AvailWindow{
+			Start:      d.Time(),
+			End:        d.Time(),
+			Confidence: d.F64(),
+		})
+	}
 	return s, d.Err()
 }
 
@@ -203,6 +236,11 @@ const (
 	TaskEventDone TaskEventKind = iota + 1
 	TaskEventEvicted
 	TaskEventProgress
+	// TaskEventDrained reports a task cancelled locally by a gracefully
+	// departing node: the LRM captured the exact progress, so the GRM can
+	// requeue the task with zero lost work instead of rolling back to the
+	// last checkpoint boundary.
+	TaskEventDrained
 )
 
 // String implements fmt.Stringer.
@@ -214,6 +252,8 @@ func (k TaskEventKind) String() string {
 		return "evicted"
 	case TaskEventProgress:
 		return "progress"
+	case TaskEventDrained:
+		return "drained"
 	default:
 		return "unknown"
 	}
@@ -250,6 +290,39 @@ func DecodeTaskEvent(d *orb.Decoder) (TaskEvent, error) {
 		At:       d.Time(),
 	}
 	return ev, d.Err()
+}
+
+// DepartureNotice is the LRM → GRM announcement that the node predicts an
+// owner-driven departure: the local LUPA forecast says the owner returns at
+// Deadline, so the node is draining its grid tasks (each reported via
+// TaskEventDrained) and should be marked Departing — trader offers
+// withdrawn immediately, but not declared dead by the failure detector.
+// This is the graceful-departure fast path; the heartbeat-miss Suspect
+// threshold remains the fallback for genuine crashes.
+type DepartureNotice struct {
+	NodeID string
+	// Deadline is the predicted departure instant (the end of the node's
+	// current availability window).
+	Deadline time.Time
+	// At is the LRM-side send time.
+	At time.Time
+}
+
+// Encode writes the notice.
+func (n DepartureNotice) Encode(e *orb.Encoder) {
+	e.PutString(n.NodeID)
+	e.PutTime(n.Deadline)
+	e.PutTime(n.At)
+}
+
+// DecodeDepartureNotice reads a DepartureNotice.
+func DecodeDepartureNotice(d *orb.Decoder) (DepartureNotice, error) {
+	n := DepartureNotice{
+		NodeID:   d.String(),
+		Deadline: d.Time(),
+		At:       d.Time(),
+	}
+	return n, d.Err()
 }
 
 // TaskClaim is one entry of an LRM's reconcile report: a task the node is

@@ -1,6 +1,7 @@
 package protocol
 
 import (
+	"reflect"
 	"testing"
 	"testing/quick"
 	"time"
@@ -24,6 +25,18 @@ func TestNodeStatusRoundTrip(t *testing.T) {
 		OwnerBusy:     true,
 		PredictedIdle: 90 * time.Minute,
 		Timestamp:     time.Date(2026, 7, 4, 10, 0, 0, 0, time.UTC),
+		Windows: []AvailWindow{
+			{
+				Start:      time.Date(2026, 7, 4, 10, 0, 0, 0, time.UTC),
+				End:        time.Date(2026, 7, 4, 18, 0, 0, 0, time.UTC),
+				Confidence: 0.75,
+			},
+			{
+				Start:      time.Date(2026, 7, 5, 0, 0, 0, 0, time.UTC),
+				End:        time.Date(2026, 7, 5, 9, 0, 0, 0, time.UTC),
+				Confidence: 1,
+			},
+		},
 	}
 	var e orb.Encoder
 	s.Encode(&e)
@@ -31,7 +44,7 @@ func TestNodeStatusRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got != s {
+	if !reflect.DeepEqual(got, s) {
 		t.Fatalf("round trip:\n got %+v\nwant %+v", got, s)
 	}
 }
